@@ -1,0 +1,102 @@
+// Package collective implements the classical collective-communication
+// algorithms the paper builds on (Section II): Bruck all-gather, recursive
+// doubling all-gather, ring and Rabenseifner all-reduce, and direct-send
+// reduce-scatter. The all-gather schedules are generic over opaque items so
+// the sparse methods (package sparsecoll and core) can reuse them for COO
+// chunks, while the dense versions serve as baselines.
+package collective
+
+import (
+	"fmt"
+
+	"spardl/internal/simnet"
+)
+
+// WorldRanks returns [0, 1, …, p-1], the group of all workers.
+func WorldRanks(p int) []int {
+	r := make([]int, p)
+	for i := range r {
+		r[i] = i
+	}
+	return r
+}
+
+// SizeFunc reports the wire size in bytes of one gathered item.
+type SizeFunc func(item any) int
+
+// BruckAllGather runs the Bruck all-gather schedule among the group members
+// listed in ranks; ep must belong to ranks[pos]. Every member contributes
+// one item; the result holds each member's item indexed by member position.
+//
+// The schedule takes ⌈log₂g⌉ rounds for a group of size g and each worker
+// receives exactly g-1 items in total — the bandwidth lower bound — for
+// *any* group size, which is why SparDL uses it for every all-gather
+// (Section III-B). At step t a worker sends its first min(2^t, g-2^t)
+// accumulated items to the member 2^t positions behind it and receives as
+// many from the member 2^t ahead.
+func BruckAllGather(ep *simnet.Endpoint, ranks []int, pos int, own any, size SizeFunc) []any {
+	g := len(ranks)
+	if g == 0 || ranks[pos] != ep.Rank() {
+		panic("collective: endpoint is not the claimed group member")
+	}
+	if g == 1 {
+		return []any{own}
+	}
+	held := make([]any, 1, g) // held[j] is the item of member (pos+j) mod g
+	held[0] = own
+	for dist := 1; dist < g; dist *= 2 {
+		count := dist
+		if g-dist < count {
+			count = g - dist
+		}
+		dst := ranks[((pos-dist)%g+g)%g]
+		src := ranks[(pos+dist)%g]
+		out := make([]any, count)
+		copy(out, held[:count])
+		bytes := 0
+		for _, it := range out {
+			bytes += size(it)
+		}
+		ep.Send(dst, out, bytes)
+		in, _ := ep.Recv(src)
+		held = append(held, in.([]any)...)
+	}
+	// held[j] belongs to member (pos+j) mod g; rotate into member order.
+	result := make([]any, g)
+	for j, it := range held {
+		result[(pos+j)%g] = it
+	}
+	return result
+}
+
+// RecursiveDoublingAllGather runs the recursive doubling all-gather among
+// the group in ranks, which must have power-of-two size (the algorithm's
+// classical limitation, Section II). At step t each worker exchanges its
+// entire accumulated set with the member at distance 2^t.
+func RecursiveDoublingAllGather(ep *simnet.Endpoint, ranks []int, pos int, own any, size SizeFunc) []any {
+	g := len(ranks)
+	if g == 0 || ranks[pos] != ep.Rank() {
+		panic("collective: endpoint is not the claimed group member")
+	}
+	if g&(g-1) != 0 {
+		panic(fmt.Sprintf("collective: recursive doubling needs power-of-two group, got %d", g))
+	}
+	result := make([]any, g)
+	result[pos] = own
+	have := []int{pos} // member positions whose items we hold
+	for dist := 1; dist < g; dist *= 2 {
+		peer := pos ^ dist
+		out := make(map[int]any, len(have))
+		bytes := 0
+		for _, j := range have {
+			out[j] = result[j]
+			bytes += size(result[j])
+		}
+		in, _ := ep.SendRecv(ranks[peer], out, bytes)
+		for j, it := range in.(map[int]any) {
+			result[j] = it
+			have = append(have, j)
+		}
+	}
+	return result
+}

@@ -1,0 +1,87 @@
+package collective
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spardl/internal/simnet"
+)
+
+// Property: Bruck all-gather delivers every member's item to every member,
+// with exactly ⌈log₂g⌉ rounds and g-1 items received per worker, for random
+// group sizes, random subgroups of a larger fabric, and random item sizes.
+func TestBruckAllGatherProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 2 + rng.Intn(18)
+		g := 1 + rng.Intn(p)
+		// Random subgroup of size g.
+		perm := rng.Perm(p)[:g]
+		ranks := append([]int(nil), perm...)
+		sizes := make([]int, g)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(300)
+		}
+		ok := true
+		rep := simnet.Run(p, unit, func(rank int, ep *simnet.Endpoint) {
+			pos := -1
+			for i, r := range ranks {
+				if r == rank {
+					pos = i
+				}
+			}
+			if pos < 0 {
+				return
+			}
+			payload := make([]byte, sizes[pos])
+			payload[0] = byte(rank)
+			got := BruckAllGather(ep, ranks, pos, payload, itemBytes)
+			if len(got) != g {
+				ok = false
+				return
+			}
+			for j, it := range got {
+				b := it.([]byte)
+				if len(b) != sizes[j] || b[0] != byte(ranks[j]) {
+					ok = false
+					return
+				}
+			}
+		})
+		if !ok {
+			return false
+		}
+		// Round bound: non-members contribute 0 rounds.
+		return rep.MaxRounds() == ceilLog2(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ring all-reduce equals the float64 reference sum within
+// tolerance for random sizes and worker counts.
+func TestRingAllReduceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 2 + rng.Intn(12)
+		n := p + rng.Intn(500)
+		vecs, want := randomVectors(p, n, seed)
+		simnet.Run(p, unit, func(rank int, ep *simnet.Endpoint) {
+			RingAllReduce(ep, vecs[rank])
+		})
+		for w := 0; w < p; w++ {
+			for i := range want {
+				d := float64(vecs[w][i] - want[i])
+				if d > 1e-2 || d < -1e-2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

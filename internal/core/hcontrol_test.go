@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHControllerInit(t *testing.T) {
+	const p, d, k = 14, 7, 1400
+	c := NewHController(p, d, k)
+	if got, want := c.H(), k/p; got != want {
+		t.Fatalf("initial h = %d, want k/P = %d", got, want)
+	}
+	if got, want := c.Target(), float64(d*k)/float64(p); got != want {
+		t.Fatalf("target = %g, want dk/P = %g", got, want)
+	}
+}
+
+func TestHControllerMovesTowardTarget(t *testing.T) {
+	// Simulated environment: the merged count N_t is a deterministic,
+	// increasing function of h (overlap factor below d), so the controller
+	// must drive N_t near the target L = dk/P.
+	const p, d, k = 14, 7, 1400
+	c := NewHController(p, d, k)
+	l := c.Target()
+	overlap := 0.6 // each extra h contributes 0.6·d distinct indices
+	nt := func(h int) int { return int(float64(h) * float64(d) * overlap) }
+	var last int
+	for i := 0; i < 200; i++ {
+		last = nt(c.H())
+		c.Observe(last)
+	}
+	if ratio := float64(last) / l; ratio < 0.7 || ratio > 1.3 {
+		t.Fatalf("after 200 steps N_t=%d vs target %g (ratio %.2f)", last, l, ratio)
+	}
+}
+
+func TestHControllerClampsToPaperRange(t *testing.T) {
+	const p, d, k = 14, 7, 1400
+	c := NewHController(p, d, k)
+	// Pathological feedback: always "too few" — h must saturate at dk/P.
+	for i := 0; i < 300; i++ {
+		c.Observe(0)
+	}
+	if got, want := c.H(), d*k/p; got != want {
+		t.Fatalf("h saturated at %d, want upper bound dk/P = %d", got, want)
+	}
+	// Always "too many" — h must saturate at k/P.
+	for i := 0; i < 300; i++ {
+		c.Observe(1 << 20)
+	}
+	if got, want := c.H(), k/p; got != want {
+		t.Fatalf("h saturated at %d, want lower bound k/P = %d", got, want)
+	}
+}
+
+func TestHControllerStepDynamics(t *testing.T) {
+	// Two consecutive correct-direction observations double the step
+	// (CWnd-style growth); a wrong-direction observation reverses and
+	// halves it.
+	c := NewHController(14, 7, 1400)
+	step0 := c.step
+	if step0 <= 0 {
+		t.Fatal("initial step must be positive")
+	}
+	// N_t below target with positive step = correct direction: first
+	// observation arms the flag, second doubles.
+	c.Observe(0)
+	if c.step != step0 {
+		t.Fatalf("step changed on first confirmation: %g", c.step)
+	}
+	c.Observe(0)
+	if c.step != 2*step0 {
+		t.Fatalf("step = %g, want doubled %g", c.step, 2*step0)
+	}
+	// Overshoot: N_t above target while step positive → reverse and halve.
+	c.Observe(1 << 20)
+	if c.step != -step0 {
+		t.Fatalf("step = %g, want reversed half %g", c.step, -step0)
+	}
+}
+
+func TestHControllerNoisyEnvironment(t *testing.T) {
+	// With multiplicative noise on N_t the controller must stay bounded
+	// and keep H within the paper's range.
+	const p, d, k = 12, 6, 1200
+	c := NewHController(p, d, k)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		noise := 0.7 + 0.6*rng.Float64()
+		nt := int(float64(c.H()) * float64(d) * 0.5 * noise)
+		c.Observe(nt)
+		if h := c.H(); h < k/p || h > d*k/p {
+			t.Fatalf("step %d: h=%d escaped [%d, %d]", i, h, k/p, d*k/p)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+
+	"spardl/internal/collective"
+	"spardl/internal/simnet"
+	"spardl/internal/sparse"
+	"spardl/internal/sparsecoll"
+)
+
+// SparDL is the paper's sparse communication framework. One instance per
+// worker; Reduce performs one full synchronization:
+//
+//	Spar-Reduce-Scatter inside each team  (Section III-B)
+//	→ Spar-All-Gather across teams        (Section III-D, when d > 1)
+//	→ Bruck all-gather inside each team
+//
+// with the global residual collection algorithm (Section III-C) running
+// throughout. With d = 1 (the default configuration the paper calls plain
+// "SparDL"), only SRS and the final all-gather run, at a total cost of
+// 2⌈log₂P⌉·α + 4k(P-1)/P·β (Eq. 4).
+type SparDL struct {
+	n, k    int
+	p, rank int
+	d, m    int // team count, team size (m = P/d)
+	team    int // this worker's team, ranks [team·m, (team+1)·m)
+	pos     int // this worker's position inside the team
+	opts    Options
+	variant Variant // resolved SAG variant (meaningful when d > 1)
+	blockK  int     // per-block selection size L(k,d,P) = dk/P = k/m
+
+	part       *sparse.Partition // the m gradient blocks
+	bags       [][]int           // bags[j-1] = relative block offsets of sending bag j
+	teamRanks  []int             // global ranks of my team, by position
+	groupRanks []int             // global ranks of my position-group, by team
+
+	residual []float32
+	stepRes  []float32 // ξ of Algorithm 1: all values discarded during the procedure
+	hctl     *HController
+	nts      []int // recorded N_t series (Fig. 7)
+}
+
+// New builds the SparDL reducer for one worker of a P-worker cluster
+// synchronizing length-n gradients with global selection size k.
+func New(p, rank, n, k int, opts Options) (*SparDL, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(p); err != nil {
+		return nil, err
+	}
+	if rank < 0 || rank >= p {
+		return nil, fmt.Errorf("core: rank %d outside [0, %d)", rank, p)
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("core: k=%d outside [1, n=%d]", k, n)
+	}
+	d := opts.Teams
+	m := p / d
+	blockK := k / m
+	if blockK < 1 {
+		blockK = 1
+	}
+	s := &SparDL{
+		n: n, k: k, p: p, rank: rank,
+		d: d, m: m, team: rank / m, pos: rank % m,
+		opts: opts, variant: opts.variantFor(d), blockK: blockK,
+		part:     sparse.NewPartition(n, m),
+		bags:     sendBags(m),
+		residual: make([]float32, n),
+		stepRes:  make([]float32, n),
+	}
+	s.teamRanks = make([]int, m)
+	for j := range s.teamRanks {
+		s.teamRanks[j] = s.team*m + j
+	}
+	s.groupRanks = make([]int, d)
+	for t := range s.groupRanks {
+		s.groupRanks[t] = t*m + s.pos
+	}
+	if d > 1 && s.variant == BSAG {
+		s.hctl = NewHController(p, d, k)
+	}
+	return s, nil
+}
+
+// sendBags partitions the m-1 non-preserved blocks into l = ⌈log₂m⌉
+// sending bags (Section III-B "Partitioning"): bag j holds the 2^(j-1)
+// blocks at relative offsets [2^(j-1), 2^j) from the preservation block,
+// except the last bag, which holds the E = m − 2^(l-1) remaining blocks.
+func sendBags(m int) [][]int {
+	if m <= 1 {
+		return nil
+	}
+	l := 0
+	for 1<<l < m {
+		l++
+	}
+	bags := make([][]int, l)
+	for j := 1; j <= l; j++ {
+		lo := 1 << (j - 1)
+		hi := 1 << j
+		if hi > m {
+			hi = m
+		}
+		offs := make([]int, 0, hi-lo)
+		for r := lo; r < hi; r++ {
+			offs = append(offs, r)
+		}
+		bags[j-1] = offs
+	}
+	return bags
+}
+
+// Name implements sparsecoll.Reducer.
+func (s *SparDL) Name() string {
+	name := "SparDL"
+	if s.d > 1 {
+		name = fmt.Sprintf("SparDL(%s,d=%d)", s.variant, s.d)
+	}
+	if s.opts.Residual != GRES {
+		name += "-" + s.opts.Residual.String()
+	}
+	if s.opts.Eager {
+		name += "-eager"
+	}
+	return name
+}
+
+// Residual implements sparsecoll.ResidualCarrier; the returned slice is
+// live internal state and must be treated as read-only.
+func (s *SparDL) Residual() []float32 { return s.residual }
+
+// BsagCounts returns the recorded N_t series — the number of gradients
+// observed after each inter-team Bruck all-gather — used to reproduce
+// Fig. 7 and to drive Algorithm 2.
+func (s *SparDL) BsagCounts() []int { return s.nts }
+
+// BlockK returns the per-block selection size L(k,d,P) = dk/P.
+func (s *SparDL) BlockK() int { return s.blockK }
+
+// Reduce implements sparsecoll.Reducer.
+func (s *SparDL) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
+	if len(grad) != s.n {
+		panic(fmt.Sprintf("core: gradient length %d, expected %d", len(grad), s.n))
+	}
+	// Plus the stored residuals onto the fresh gradients and snapshot the
+	// result (the G_copy of Algorithm 1, line 3).
+	acc := make([]float32, s.n)
+	copy(acc, grad)
+	for i, r := range s.residual {
+		acc[i] += r
+	}
+	snapshot := make([]float32, s.n)
+	copy(snapshot, acc)
+	for i := range s.stepRes {
+		s.stepRes[i] = 0
+	}
+	sparsecoll.ChargeScan(ep, s.n)
+
+	var localSel []int32 // indices this worker selected for transmission (LRES)
+
+	// Phase 1: Spar-Reduce-Scatter inside the team.
+	var reserved *sparse.Chunk
+	if s.m == 1 {
+		// Single-member teams (d = P): the "reserved block" is the whole
+		// vector; only the local top-k applies before team synchronization.
+		reserved = s.sparsifyDenseBlock(ep, acc, 0, s.n, &localSel)
+	} else if s.opts.Eager {
+		reserved = s.runSRSEager(ep, acc, &localSel)
+	} else {
+		reserved = s.runSRS(ep, acc, &localSel)
+	}
+
+	// Phase 2: Spar-All-Gather across teams.
+	if s.d > 1 {
+		if s.variant == RSAG {
+			reserved = s.runRSAG(ep, reserved)
+		} else {
+			reserved = s.runBSAG(ep, reserved)
+		}
+	}
+
+	// Phase 3: Bruck all-gather of the reduced blocks inside the team.
+	var finalChunks []*sparse.Chunk
+	if s.m == 1 {
+		finalChunks = []*sparse.Chunk{reserved}
+	} else {
+		items := collective.BruckAllGather(ep, s.teamRanks, s.pos, reserved, chunkBytes)
+		finalChunks = make([]*sparse.Chunk, len(items))
+		total := 0
+		for i, it := range items {
+			finalChunks[i] = it.(*sparse.Chunk)
+			total += finalChunks[i].Len()
+		}
+		sparsecoll.ChargeMerge(ep, total)
+	}
+
+	out := make([]float32, s.n)
+	for _, c := range finalChunks {
+		c.AddToDense(out)
+	}
+
+	s.finishResidual(ep, snapshot, finalChunks, localSel)
+	return out
+}
+
+// runSRS is the transmission-with-sparsification process of Section III-B
+// with the paper's lazy-sparsification optimization: a block stays dense in
+// acc, absorbing received contributions, until the step that transmits it.
+// At step i the worker sends bag l-i+1 to the team member 2^(l-i) positions
+// ahead and receives the mirror bag from 2^(l-i) behind; received chunks
+// are summed into acc (Theorem 1 guarantees they fall into still-held
+// blocks). After l steps only the preservation block remains, which is
+// sparsified last (Algorithm 1, line 9).
+func (s *SparDL) runSRS(ep *simnet.Endpoint, acc []float32, localSel *[]int32) *sparse.Chunk {
+	m, pos := s.m, s.pos
+	l := len(s.bags)
+	for i := 1; i <= l; i++ {
+		dist := 1 << (l - i)
+		bag := s.bags[l-i] // bag number l-i+1
+		payload := make([]*sparse.Chunk, 0, len(bag))
+		bytes := 0
+		for _, r := range bag {
+			b := (pos + r) % m
+			lo, hi := s.part.Bounds(b)
+			kept := s.sparsifyDenseBlock(ep, acc, lo, hi, localSel)
+			if kept.Len() > 0 {
+				payload = append(payload, kept)
+				bytes += kept.WireBytes()
+			}
+		}
+		target := s.teamRanks[(pos+dist)%m]
+		source := s.teamRanks[(pos-dist+m)%m]
+		ep.Send(target, payload, bytes)
+		in, _ := ep.Recv(source)
+		for _, c := range in.([]*sparse.Chunk) {
+			sparsecoll.ChargeMerge(ep, c.Len())
+			c.AddToDense(acc)
+		}
+	}
+	lo, hi := s.part.Bounds(pos)
+	return s.sparsifyDenseBlock(ep, acc, lo, hi, localSel)
+}
+
+// runSRSEager is the unoptimized variant (the ablation baseline for the
+// "Optimization for SRS" paragraph): every block is sparsified up front and
+// re-sparsified immediately after each summation.
+func (s *SparDL) runSRSEager(ep *simnet.Endpoint, acc []float32, localSel *[]int32) *sparse.Chunk {
+	m, pos := s.m, s.pos
+	blocks := make([]*sparse.Chunk, m)
+	for b := 0; b < m; b++ {
+		lo, hi := s.part.Bounds(b)
+		blocks[b] = s.sparsifyDenseBlock(ep, acc, lo, hi, localSel)
+	}
+	l := len(s.bags)
+	for i := 1; i <= l; i++ {
+		dist := 1 << (l - i)
+		bag := s.bags[l-i]
+		payload := make([]*sparse.Chunk, 0, len(bag))
+		bytes := 0
+		for _, r := range bag {
+			b := (pos + r) % m
+			if blocks[b].Len() > 0 {
+				payload = append(payload, blocks[b])
+				bytes += blocks[b].WireBytes()
+			}
+			blocks[b] = nil // sent away; no longer held
+		}
+		target := s.teamRanks[(pos+dist)%m]
+		source := s.teamRanks[(pos-dist+m)%m]
+		ep.Send(target, payload, bytes)
+		in, _ := ep.Recv(source)
+		for _, c := range in.([]*sparse.Chunk) {
+			b := s.part.BlockOf(c.Idx[0])
+			sparsecoll.ChargeMerge(ep, c.Len()+blocks[b].Len())
+			merged := sparse.MergeAdd(blocks[b], c)
+			kept, dropped := sparse.TopKChunk(merged, s.blockK)
+			sparsecoll.ChargeScan(ep, merged.Len())
+			addDrops(s.stepRes, dropped, 1)
+			blocks[b] = kept
+		}
+	}
+	return blocks[pos]
+}
+
+// sparsifyDenseBlock selects the top blockK entries of acc[lo:hi); every
+// unselected value in the range is accumulated into the step residual ξ.
+func (s *SparDL) sparsifyDenseBlock(ep *simnet.Endpoint, acc []float32, lo, hi int, localSel *[]int32) *sparse.Chunk {
+	kept := sparse.TopKDense(acc, lo, hi, s.blockK)
+	sparsecoll.ChargeScan(ep, hi-lo)
+	for i := lo; i < hi; i++ {
+		s.stepRes[i] += acc[i]
+	}
+	for j, idx := range kept.Idx {
+		s.stepRes[idx] -= kept.Val[j]
+	}
+	if s.opts.Residual == LRES {
+		*localSel = append(*localSel, kept.Idx...)
+	}
+	return kept
+}
+
+// addDrops accumulates a dropped chunk into the step residual with the
+// given share. The share is 1 when this worker is the unique holder of the
+// dropped partial sums, 1/2^(t+1) at R-SAG level t (2^(t+1) workers hold
+// identical data and drop identically), and 1/d after B-SAG's final
+// selection (all d members of the position group hold identical data).
+func addDrops(stepRes []float32, dropped *sparse.Chunk, share float32) {
+	for i, idx := range dropped.Idx {
+		stepRes[idx] += dropped.Val[i] * share
+	}
+}
+
+// finishResidual is lines 11-13 of Algorithm 1 plus the PRES/LRES
+// ablations: start from the snapshot (G_copy), then at every index that
+// made the final global gradient substitute the collected in-procedure
+// residual (GRES), zero (PRES), or — for LRES — zero at exactly the indices
+// this worker itself selected for transmission.
+func (s *SparDL) finishResidual(ep *simnet.Endpoint, snapshot []float32, finalChunks []*sparse.Chunk, localSel []int32) {
+	copy(s.residual, snapshot)
+	switch s.opts.Residual {
+	case GRES:
+		for _, c := range finalChunks {
+			for _, idx := range c.Idx {
+				s.residual[idx] = s.stepRes[idx]
+			}
+		}
+	case PRES:
+		for _, c := range finalChunks {
+			for _, idx := range c.Idx {
+				s.residual[idx] = 0
+			}
+		}
+	case LRES:
+		for _, idx := range localSel {
+			s.residual[idx] = 0
+		}
+	}
+	sparsecoll.ChargeScan(ep, s.n)
+}
+
+func chunkBytes(it any) int { return it.(*sparse.Chunk).WireBytes() }

@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDeepGraphBackward guards the iterative topological sort: a recursive
+// implementation would blow the stack on graphs this deep (long LSTM
+// unrolls create exactly this shape).
+func TestDeepGraphBackward(t *testing.T) {
+	w := NewParam(1, 1, func(int) float32 { return 1.0000001 })
+	x := FromSlice(1, 1, []float32{1})
+	h := x
+	const depth = 20000
+	for i := 0; i < depth; i++ {
+		h = Mul(h, w)
+	}
+	loss := MSE(h, []float32{0})
+	loss.Backward()
+	if w.Grad[0] == 0 {
+		t.Fatal("no gradient through deep chain")
+	}
+}
+
+// TestGradAccumulation: two backward passes without ZeroGrads must
+// accumulate, one after ZeroGrads must equal a single pass.
+func TestGradAccumulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := NewParam(3, 2, GlorotInit(rng, 3, 2))
+	x := randInput(rng, 4, 3)
+	labels := []int{0, 1, 0, 1}
+	forward := func() *Tensor { return CrossEntropy(MatMul(FromSlice(4, 3, x), w), labels) }
+
+	forward().Backward()
+	once := append([]float32(nil), w.Grad...)
+	forward().Backward()
+	for i := range once {
+		if diff := w.Grad[i] - 2*once[i]; diff > 1e-5 || diff < -1e-5 {
+			t.Fatalf("gradient did not accumulate at %d: %g vs 2*%g", i, w.Grad[i], once[i])
+		}
+	}
+	ZeroGrads([]*Tensor{w})
+	forward().Backward()
+	for i := range once {
+		if w.Grad[i] != once[i] {
+			t.Fatalf("gradient after ZeroGrads differs at %d", i)
+		}
+	}
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Zeros(2, 2).Backward()
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	cases := []func(){
+		func() { MatMul(Zeros(2, 3), Zeros(2, 3)) },
+		func() { Add(Zeros(2, 3), Zeros(3, 2)) },
+		func() { AddRow(Zeros(2, 3), Zeros(1, 2)) },
+		func() { Mul(Zeros(2, 3), Zeros(2, 2)) },
+		func() { FromSlice(2, 2, make([]float32, 3)) },
+		func() { MSE(Zeros(2, 2), []float32{1, 2}) },
+		func() { CrossEntropy(Zeros(2, 3), []int{0}) },
+		func() { Embed(Zeros(4, 2), []int{5}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestNoGradForInputs: constant inputs never allocate gradients and ops on
+// pure constants skip backward wiring.
+func TestNoGradForInputs(t *testing.T) {
+	a := FromSlice(2, 2, []float32{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float32{5, 6, 7, 8})
+	c := Add(a, b)
+	if c.NeedGrad() {
+		t.Fatal("constant op result should not need grad")
+	}
+	w := NewParam(2, 2, func(int) float32 { return 1 })
+	d := Add(c, w)
+	if !d.NeedGrad() {
+		t.Fatal("op with a parameter input must need grad")
+	}
+}

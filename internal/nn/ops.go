@@ -1,0 +1,255 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul returns a·b for a [R×K] and b [K×C].
+func MatMul(a, b *Tensor) *Tensor {
+	if a.C != b.R {
+		panic(fmt.Sprintf("nn: MatMul shape mismatch %dx%d · %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := newResult(a.R, b.C, a, b)
+	matmulInto(out.Data, a.Data, b.Data, a.R, a.C, b.C)
+	out.back = func() {
+		if a.needGrad {
+			// dA += dOut · Bᵀ
+			a.ensureGrad()
+			for i := 0; i < a.R; i++ {
+				for k := 0; k < a.C; k++ {
+					var s float32
+					brow := b.Data[k*b.C:]
+					orow := out.Grad[i*out.C:]
+					for j := 0; j < b.C; j++ {
+						s += orow[j] * brow[j]
+					}
+					a.Grad[i*a.C+k] += s
+				}
+			}
+		}
+		if b.needGrad {
+			// dB += Aᵀ · dOut
+			b.ensureGrad()
+			for i := 0; i < a.R; i++ {
+				arow := a.Data[i*a.C:]
+				orow := out.Grad[i*out.C:]
+				for k := 0; k < a.C; k++ {
+					av := arow[k]
+					if av == 0 {
+						continue
+					}
+					brow := b.Grad[k*b.C:]
+					for j := 0; j < b.C; j++ {
+						brow[j] += av * orow[j]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// matmulInto computes dst = a·b with an ikj loop order (row-major cache
+// friendly); dst must be zeroed, length r·c.
+func matmulInto(dst, a, b []float32, r, k, c int) {
+	for i := 0; i < r; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*c : (i+1)*c]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*c : (kk+1)*c]
+			for j := range drow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// Add returns the elementwise sum of equally-shaped tensors.
+func Add(a, b *Tensor) *Tensor {
+	if a.R != b.R || a.C != b.C {
+		panic(fmt.Sprintf("nn: Add shape mismatch %dx%d + %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := newResult(a.R, a.C, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	out.back = func() {
+		if a.needGrad {
+			a.ensureGrad()
+			for i := range out.Grad {
+				a.Grad[i] += out.Grad[i]
+			}
+		}
+		if b.needGrad {
+			b.ensureGrad()
+			for i := range out.Grad {
+				b.Grad[i] += out.Grad[i]
+			}
+		}
+	}
+	return out
+}
+
+// AddRow broadcasts the 1×C row b over every row of a [R×C] (bias add).
+func AddRow(a, b *Tensor) *Tensor {
+	if b.R != 1 || a.C != b.C {
+		panic(fmt.Sprintf("nn: AddRow shape mismatch %dx%d + %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := newResult(a.R, a.C, a, b)
+	for i := 0; i < a.R; i++ {
+		for j := 0; j < a.C; j++ {
+			out.Data[i*a.C+j] = a.Data[i*a.C+j] + b.Data[j]
+		}
+	}
+	out.back = func() {
+		if a.needGrad {
+			a.ensureGrad()
+			for i := range out.Grad {
+				a.Grad[i] += out.Grad[i]
+			}
+		}
+		if b.needGrad {
+			b.ensureGrad()
+			for i := 0; i < a.R; i++ {
+				for j := 0; j < a.C; j++ {
+					b.Grad[j] += out.Grad[i*a.C+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Mul returns the elementwise (Hadamard) product of equally-shaped tensors.
+func Mul(a, b *Tensor) *Tensor {
+	if a.R != b.R || a.C != b.C {
+		panic(fmt.Sprintf("nn: Mul shape mismatch %dx%d * %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := newResult(a.R, a.C, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	out.back = func() {
+		if a.needGrad {
+			a.ensureGrad()
+			for i := range out.Grad {
+				a.Grad[i] += out.Grad[i] * b.Data[i]
+			}
+		}
+		if b.needGrad {
+			b.ensureGrad()
+			for i := range out.Grad {
+				b.Grad[i] += out.Grad[i] * a.Data[i]
+			}
+		}
+	}
+	return out
+}
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(a *Tensor) *Tensor {
+	out := newResult(a.R, a.C, a)
+	for i, v := range a.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	out.back = func() {
+		if !a.needGrad {
+			return
+		}
+		a.ensureGrad()
+		for i := range out.Grad {
+			if a.Data[i] > 0 {
+				a.Grad[i] += out.Grad[i]
+			}
+		}
+	}
+	return out
+}
+
+// Tanh applies tanh elementwise.
+func Tanh(a *Tensor) *Tensor {
+	out := newResult(a.R, a.C, a)
+	for i, v := range a.Data {
+		out.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	out.back = func() {
+		if !a.needGrad {
+			return
+		}
+		a.ensureGrad()
+		for i := range out.Grad {
+			y := out.Data[i]
+			a.Grad[i] += out.Grad[i] * (1 - y*y)
+		}
+	}
+	return out
+}
+
+// Sigmoid applies 1/(1+e^-x) elementwise.
+func Sigmoid(a *Tensor) *Tensor {
+	out := newResult(a.R, a.C, a)
+	for i, v := range a.Data {
+		out.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	out.back = func() {
+		if !a.needGrad {
+			return
+		}
+		a.ensureGrad()
+		for i := range out.Grad {
+			y := out.Data[i]
+			a.Grad[i] += out.Grad[i] * y * (1 - y)
+		}
+	}
+	return out
+}
+
+// Embed gathers rows of the embedding table w [V×D] for the given ids,
+// producing a [len(ids)×D] tensor. The backward pass scatter-adds into the
+// table's gradient.
+func Embed(w *Tensor, ids []int) *Tensor {
+	out := newResult(len(ids), w.C, w)
+	for b, id := range ids {
+		if id < 0 || id >= w.R {
+			panic(fmt.Sprintf("nn: Embed id %d outside vocabulary %d", id, w.R))
+		}
+		copy(out.Data[b*w.C:(b+1)*w.C], w.Data[id*w.C:(id+1)*w.C])
+	}
+	out.back = func() {
+		if !w.needGrad {
+			return
+		}
+		w.ensureGrad()
+		for b, id := range ids {
+			for j := 0; j < w.C; j++ {
+				w.Grad[id*w.C+j] += out.Grad[b*w.C+j]
+			}
+		}
+	}
+	return out
+}
+
+// Scale multiplies every element by s.
+func Scale(a *Tensor, s float32) *Tensor {
+	out := newResult(a.R, a.C, a)
+	for i, v := range a.Data {
+		out.Data[i] = v * s
+	}
+	out.back = func() {
+		if !a.needGrad {
+			return
+		}
+		a.ensureGrad()
+		for i := range out.Grad {
+			a.Grad[i] += out.Grad[i] * s
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package nn
+
+import "fmt"
+
+// ParamCount returns the total number of scalar parameters.
+func ParamCount(params []*Tensor) int {
+	n := 0
+	for _, p := range params {
+		n += p.Len()
+	}
+	return n
+}
+
+// FlattenGrads concatenates every parameter's gradient into out, which must
+// have length ParamCount(params). This is the dense gradient vector handed
+// to the communication layer.
+func FlattenGrads(params []*Tensor, out []float32) {
+	off := 0
+	for _, p := range params {
+		copy(out[off:off+p.Len()], p.Grad)
+		off += p.Len()
+	}
+	if off != len(out) {
+		panic(fmt.Sprintf("nn: FlattenGrads wrote %d of %d values", off, len(out)))
+	}
+}
+
+// ZeroGrads clears every parameter gradient.
+func ZeroGrads(params []*Tensor) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// SGD is stochastic gradient descent with optional momentum. When every
+// worker applies the identical synchronized update vector, replicas stay
+// bit-identical — the trainer relies on this.
+type SGD struct {
+	LR       float32
+	Momentum float32
+	velocity []float32
+}
+
+// NewSGD builds the optimizer.
+func NewSGD(lr, momentum float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum}
+}
+
+// Step applies the (synchronized, flattened) gradient vector to the
+// parameters: v = µ·v + g; w -= lr·v.
+func (s *SGD) Step(params []*Tensor, grad []float32) {
+	if want := ParamCount(params); len(grad) != want {
+		panic(fmt.Sprintf("nn: SGD.Step got %d gradient values for %d parameters", len(grad), want))
+	}
+	if s.Momentum != 0 && s.velocity == nil {
+		s.velocity = make([]float32, len(grad))
+	}
+	off := 0
+	for _, p := range params {
+		for i := 0; i < p.Len(); i++ {
+			g := grad[off+i]
+			if s.Momentum != 0 {
+				s.velocity[off+i] = s.Momentum*s.velocity[off+i] + g
+				g = s.velocity[off+i]
+			}
+			p.Data[i] -= s.LR * g
+		}
+		off += p.Len()
+	}
+}

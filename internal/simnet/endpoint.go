@@ -1,0 +1,125 @@
+package simnet
+
+import "fmt"
+
+// Stats accumulates the α-β accounting for one worker.
+type Stats struct {
+	Rounds    int   // number of Recv operations (the "x" in xα + yβ)
+	BytesRecv int64 // total received volume (the "y", in bytes)
+	BytesSent int64
+	MsgsSent  int
+	// CommTime and CompTime split the virtual clock's advancement into
+	// communication (α-β charges inside Recv, including waiting for the
+	// sender) and local computation (Compute calls). Their sum can be less
+	// than the clock advance when a worker idles waiting for a peer.
+	CommTime float64
+	CompTime float64
+}
+
+// Endpoint is worker rank's handle on the fabric. It carries the worker's
+// virtual clock and traffic statistics. Endpoints are not safe for
+// concurrent use; each belongs to exactly one worker goroutine.
+type Endpoint struct {
+	fabric *Fabric
+	rank   int
+	clock  float64
+	stats  Stats
+}
+
+// Rank returns this worker's rank in [0, P).
+func (e *Endpoint) Rank() int { return e.rank }
+
+// P returns the number of workers on the fabric.
+func (e *Endpoint) P() int { return e.fabric.p }
+
+// Clock returns the worker's current virtual time in seconds.
+func (e *Endpoint) Clock() float64 { return e.clock }
+
+// Stats returns a copy of the worker's traffic statistics.
+func (e *Endpoint) Stats() Stats { return e.stats }
+
+// ResetStats zeroes traffic statistics (the clock keeps running). The
+// experiment harness uses this to measure steady-state iterations without
+// warm-up noise.
+func (e *Endpoint) ResetStats() { e.stats = Stats{} }
+
+// Compute advances the worker's virtual clock by d seconds of local work
+// (forward/backward pass, selection, summation).
+func (e *Endpoint) Compute(d float64) {
+	if d < 0 {
+		panic("simnet: negative compute time")
+	}
+	e.clock += d
+	e.stats.CompTime += d
+}
+
+// Send transmits payload to worker `to`, accounting `bytes` on the wire.
+// Sends are non-blocking and cost nothing at the sender: the α-β model
+// charges a transmission entirely at its receiver. The payload is handed
+// over by reference; the sender must not mutate it afterwards.
+func (e *Endpoint) Send(to int, payload any, bytes int) {
+	if to == e.rank {
+		panic(fmt.Sprintf("simnet: worker %d sending to itself", e.rank))
+	}
+	e.stats.MsgsSent++
+	e.stats.BytesSent += int64(bytes)
+	e.fabric.queues[e.rank*e.fabric.p+to].push(Message{
+		From:    e.rank,
+		To:      to,
+		Payload: payload,
+		Bytes:   bytes,
+		sentAt:  e.clock,
+	})
+}
+
+// Recv blocks until a message from worker `from` arrives, then advances the
+// virtual clock: clock = max(clock, senderClockAtSend) + α + β·bytes.
+func (e *Endpoint) Recv(from int) (payload any, bytes int) {
+	m := e.fabric.queues[from*e.fabric.p+e.rank].pop()
+	before := e.clock
+	if m.sentAt > e.clock {
+		e.clock = m.sentAt
+	}
+	prof := e.fabric.profile
+	e.clock += prof.Alpha + prof.Beta*float64(m.Bytes)
+	e.stats.Rounds++
+	e.stats.BytesRecv += int64(m.Bytes)
+	e.stats.CommTime += e.clock - before
+	return m.Payload, m.Bytes
+}
+
+// SendRecv performs the paired exchange used by recursive doubling: send to
+// peer, then receive from the same peer. With full-duplex links the α-β
+// cost of the round is α + β·(received bytes), which is exactly what the
+// underlying Recv charges.
+func (e *Endpoint) SendRecv(peer int, payload any, bytes int) (got any, gotBytes int) {
+	e.Send(peer, payload, bytes)
+	return e.Recv(peer)
+}
+
+// SyncClock exchanges clock values with all workers and sets every clock to
+// the maximum, *without* charging α-β costs. The trainer calls this between
+// iterations to model the implicit synchronization of S-SGD (no worker can
+// start iteration t+1 before the slowest finishes t, because all-reduce
+// already synchronized them; collectives that leave clocks slightly skewed
+// are realigned here).
+func (e *Endpoint) SyncClock() {
+	p := e.fabric.p
+	if p == 1 {
+		return
+	}
+	for to := 0; to < p; to++ {
+		if to != e.rank {
+			e.fabric.queues[e.rank*p+to].push(Message{From: e.rank, To: to, Payload: e.clock, sentAt: e.clock})
+		}
+	}
+	for from := 0; from < p; from++ {
+		if from == e.rank {
+			continue
+		}
+		m := e.fabric.queues[from*p+e.rank].pop()
+		if t := m.Payload.(float64); t > e.clock {
+			e.clock = t
+		}
+	}
+}

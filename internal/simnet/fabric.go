@@ -1,0 +1,142 @@
+// Package simnet simulates a cluster of P workers connected by a network
+// that follows the Hockney latency-bandwidth (α-β) cost model — the exact
+// model the SparDL paper uses for every complexity claim (Section II).
+//
+// Workers run as goroutines and exchange messages point-to-point. Payloads
+// move by reference (no serialization), but every receive advances the
+// receiving worker's *virtual clock* by α + β·bytes, and message causality
+// is preserved: a message cannot be received before the sender's clock at
+// the moment of sending. The fabric therefore yields, per worker, exactly
+// the quantities the paper's cost model tracks:
+//
+//   - transmission rounds (the "x" in xα + yβ): one per Recv;
+//   - received volume (the "y"): total bytes across Recvs.
+//
+// The simulation is deterministic: algorithm schedules decide the ordering,
+// not goroutine scheduling, because each Recv names its source rank.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Profile describes a network: per-message latency Alpha (seconds) and
+// per-byte transfer cost Beta (seconds/byte).
+type Profile struct {
+	Name  string
+	Alpha float64
+	Beta  float64
+}
+
+// Ethernet approximates the paper's commodity Ethernet cluster ("connected
+// to an Ethernet with default setting"): 300µs effective per-message
+// latency (TCP/IP stack included) and ~1 Gb/s effective per-worker
+// bandwidth.
+var Ethernet = Profile{Name: "ethernet", Alpha: 300e-6, Beta: 8e-9}
+
+// RDMA approximates the paper's InfiniBand/RDMA cluster (Section IV-J):
+// 5µs latency, ~20 Gb/s effective bandwidth.
+var RDMA = Profile{Name: "rdma", Alpha: 5e-6, Beta: 0.4e-9}
+
+// Message is a point-to-point datagram with an accounted wire size.
+type Message struct {
+	From    int
+	To      int
+	Payload any
+	Bytes   int
+	sentAt  float64
+}
+
+// Fabric connects P endpoints with per-pair FIFO queues.
+type Fabric struct {
+	p       int
+	profile Profile
+	queues  []*queue // from*p + to
+	poison  sync.Once
+}
+
+// New creates a fabric for p workers. It panics on p <= 0 (a configuration
+// bug, not a runtime condition).
+func New(p int, profile Profile) *Fabric {
+	if p <= 0 {
+		panic("simnet: need at least one worker")
+	}
+	f := &Fabric{p: p, profile: profile, queues: make([]*queue, p*p)}
+	for i := range f.queues {
+		f.queues[i] = newQueue()
+	}
+	return f
+}
+
+// P returns the number of workers on the fabric.
+func (f *Fabric) P() int { return f.p }
+
+// Profile returns the network profile in use.
+func (f *Fabric) Profile() Profile { return f.profile }
+
+// Endpoint returns worker rank's endpoint. Each rank must be used by a
+// single goroutine.
+func (f *Fabric) Endpoint(rank int) *Endpoint {
+	if rank < 0 || rank >= f.p {
+		panic(fmt.Sprintf("simnet: rank %d out of range [0,%d)", rank, f.p))
+	}
+	return &Endpoint{fabric: f, rank: rank}
+}
+
+// Poison closes every queue so that any worker blocked in Recv panics
+// instead of deadlocking. Run uses it to propagate worker panics.
+func (f *Fabric) Poison() {
+	f.poison.Do(func() {
+		for _, q := range f.queues {
+			q.close()
+		}
+	})
+}
+
+// queue is an unbounded FIFO with blocking pop. Unbounded capacity mirrors
+// eager/nonblocking sends (MPI_Isend): the simulated cost of transfer is
+// charged entirely at the receiver by the α-β model.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Message
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(m Message) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		panic("simnet: send on poisoned fabric")
+	}
+	q.items = append(q.items, m)
+	q.cond.Signal()
+}
+
+func (q *queue) pop() Message {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		panic("simnet: recv on poisoned fabric")
+	}
+	m := q.items[0]
+	q.items = q.items[1:]
+	return m
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

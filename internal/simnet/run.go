@@ -1,0 +1,94 @@
+package simnet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Report aggregates the outcome of a cluster run.
+type Report struct {
+	// Time is the virtual completion time: the maximum final clock across
+	// workers, i.e. when the slowest worker finished.
+	Time float64
+	// PerWorker holds each worker's final statistics, indexed by rank.
+	PerWorker []Stats
+	// Clocks holds each worker's final virtual clock, indexed by rank.
+	Clocks []float64
+}
+
+// MaxRounds returns the maximum per-worker round count — the "x" a worst-
+// case worker pays in the xα + yβ cost model.
+func (r *Report) MaxRounds() int {
+	m := 0
+	for _, s := range r.PerWorker {
+		if s.Rounds > m {
+			m = s.Rounds
+		}
+	}
+	return m
+}
+
+// MaxBytesRecv returns the maximum per-worker received volume — the "y" a
+// worst-case worker pays in the xα + yβ cost model.
+func (r *Report) MaxBytesRecv() int64 {
+	var m int64
+	for _, s := range r.PerWorker {
+		if s.BytesRecv > m {
+			m = s.BytesRecv
+		}
+	}
+	return m
+}
+
+// Run executes worker(rank, endpoint) on p goroutines over a fresh fabric
+// and waits for all of them. If any worker panics, the fabric is poisoned
+// (so blocked peers unwind too) and Run re-panics with the first failure.
+func Run(p int, profile Profile, worker func(rank int, ep *Endpoint)) *Report {
+	f := New(p, profile)
+	eps := make([]*Endpoint, p)
+	for i := range eps {
+		eps[i] = f.Endpoint(i)
+	}
+	RunOn(eps, worker)
+	rep := &Report{PerWorker: make([]Stats, p), Clocks: make([]float64, p)}
+	for i, ep := range eps {
+		rep.PerWorker[i] = ep.Stats()
+		rep.Clocks[i] = ep.Clock()
+		if ep.Clock() > rep.Time {
+			rep.Time = ep.Clock()
+		}
+	}
+	return rep
+}
+
+// RunOn executes worker(rank, ep) concurrently on the provided endpoints
+// (which must all belong to the same fabric) and waits for completion.
+// Unlike Run it does not build a report, so callers can keep endpoints
+// alive across multiple phases (the trainer runs one RunOn per session with
+// a long-lived worker body instead).
+func RunOn(eps []*Endpoint, worker func(rank int, ep *Endpoint)) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstPanic any
+	for i, ep := range eps {
+		wg.Add(1)
+		go func(rank int, ep *Endpoint) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if firstPanic == nil {
+						firstPanic = fmt.Sprintf("worker %d: %v", rank, r)
+					}
+					mu.Unlock()
+					ep.fabric.Poison()
+				}
+			}()
+			worker(rank, ep)
+		}(i, ep)
+	}
+	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+}

@@ -1,0 +1,109 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRandomTrafficStress exercises the fabric with a randomized but
+// deterministic all-to-all schedule: every worker sends a known number of
+// messages to every peer and receives exactly what was sent, in FIFO order
+// per pair, without deadlock.
+func TestRandomTrafficStress(t *testing.T) {
+	const p = 9
+	const msgsPerPair = 40
+	rep := Run(p, unit, func(rank int, ep *Endpoint) {
+		rng := rand.New(rand.NewSource(int64(rank)))
+		// Interleave sends and receives in random order; since sends never
+		// block, draining receives afterwards cannot deadlock.
+		for i := 0; i < msgsPerPair; i++ {
+			for _, to := range rng.Perm(p) {
+				if to != rank {
+					ep.Send(to, [2]int{rank, i}, 8)
+				}
+			}
+		}
+		for from := 0; from < p; from++ {
+			if from == rank {
+				continue
+			}
+			for i := 0; i < msgsPerPair; i++ {
+				got, _ := ep.Recv(from)
+				pair := got.([2]int)
+				if pair[0] != from || pair[1] != i {
+					t.Errorf("worker %d: from %d message %d got %v", rank, from, i, pair)
+					return
+				}
+			}
+		}
+	})
+	wantRounds := (p - 1) * msgsPerPair
+	for w, s := range rep.PerWorker {
+		if s.Rounds != wantRounds || s.MsgsSent != wantRounds {
+			t.Fatalf("worker %d: rounds=%d sent=%d want %d", w, s.Rounds, s.MsgsSent, wantRounds)
+		}
+	}
+}
+
+// TestClockMonotonic verifies clocks never go backwards regardless of
+// message timing interleavings.
+func TestClockMonotonic(t *testing.T) {
+	Run(4, unit, func(rank int, ep *Endpoint) {
+		last := ep.Clock()
+		next := (rank + 1) % 4
+		prev := (rank + 3) % 4
+		for i := 0; i < 50; i++ {
+			if i%3 == 0 {
+				ep.Compute(float64(rank) * 0.1)
+			}
+			ep.Send(next, nil, i)
+			ep.Recv(prev)
+			if c := ep.Clock(); c < last {
+				t.Errorf("clock went backwards: %g -> %g", last, c)
+				return
+			} else {
+				last = c
+			}
+		}
+	})
+}
+
+// TestCommTimeCompTimeSplit checks the Stats decomposition invariant:
+// comm + comp ≤ clock (idle waiting accounts for the slack).
+func TestCommTimeCompTimeSplit(t *testing.T) {
+	rep := Run(2, unit, func(rank int, ep *Endpoint) {
+		if rank == 0 {
+			ep.Compute(5)
+			ep.Send(1, nil, 3)
+		} else {
+			ep.Recv(0) // waits 5s idle, then α+3β = 4
+		}
+	})
+	s := rep.PerWorker[1]
+	// CommTime includes the wait for the sender (that is what the worker
+	// experiences as communication time).
+	if s.CommTime != 9 || s.CompTime != 0 {
+		t.Fatalf("split wrong: %+v", s)
+	}
+	if rep.Clocks[1] != 9 {
+		t.Fatalf("clock = %g", rep.Clocks[1])
+	}
+}
+
+func BenchmarkFabricPingPong(b *testing.B) {
+	f := New(2, unit)
+	a, c := f.Endpoint(0), f.Endpoint(1)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < b.N; i++ {
+			c.Recv(0)
+			c.Send(0, nil, 8)
+		}
+		close(done)
+	}()
+	for i := 0; i < b.N; i++ {
+		a.Send(1, nil, 8)
+		a.Recv(1)
+	}
+	<-done
+}

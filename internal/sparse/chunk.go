@@ -1,0 +1,195 @@
+// Package sparse provides the sparse-gradient representation used by every
+// communication algorithm in this repository: COO chunks sorted by index,
+// merge-add of chunks, block partitioning of a dense gradient vector, and
+// deterministic top-k selection.
+//
+// All algorithms in the paper exchange sparse gradients in coordinate (COO)
+// format: one index and one value per entry, so the wire size of a chunk
+// with c entries is 2c elements (the paper's "2k/P" style accounting).
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Chunk is a sparse slice of a gradient vector in COO format.
+// Invariant: Idx is strictly increasing and len(Idx) == len(Val).
+// The zero value is an empty, valid chunk.
+type Chunk struct {
+	Idx []int32
+	Val []float32
+}
+
+// Len returns the number of non-zero entries in the chunk.
+func (c *Chunk) Len() int { return len(c.Idx) }
+
+// WireElems returns the number of scalar elements transmitted on the wire
+// for this chunk in COO format (index + value per entry).
+func (c *Chunk) WireElems() int { return 2 * len(c.Idx) }
+
+// WireBytes returns the wire size in bytes, assuming 4-byte indices and
+// 4-byte float values (int32 + float32), the format used throughout.
+func (c *Chunk) WireBytes() int { return 8 * len(c.Idx) }
+
+// Clone returns a deep copy of the chunk.
+func (c *Chunk) Clone() *Chunk {
+	out := &Chunk{
+		Idx: make([]int32, len(c.Idx)),
+		Val: make([]float32, len(c.Val)),
+	}
+	copy(out.Idx, c.Idx)
+	copy(out.Val, c.Val)
+	return out
+}
+
+// Validate checks the chunk invariants. It is used by tests and by debug
+// assertions; algorithms assume valid chunks.
+func (c *Chunk) Validate() error {
+	if len(c.Idx) != len(c.Val) {
+		return fmt.Errorf("sparse: index/value length mismatch: %d != %d", len(c.Idx), len(c.Val))
+	}
+	for i := 1; i < len(c.Idx); i++ {
+		if c.Idx[i] <= c.Idx[i-1] {
+			return fmt.Errorf("sparse: indices not strictly increasing at %d: %d <= %d", i, c.Idx[i], c.Idx[i-1])
+		}
+	}
+	return nil
+}
+
+// FromDense extracts the non-zero entries of dense[lo:hi) into a chunk with
+// absolute indices. Entries exactly equal to zero are skipped.
+func FromDense(dense []float32, lo, hi int) *Chunk {
+	c := &Chunk{}
+	for i := lo; i < hi; i++ {
+		if dense[i] != 0 {
+			c.Idx = append(c.Idx, int32(i))
+			c.Val = append(c.Val, dense[i])
+		}
+	}
+	return c
+}
+
+// FromMap builds a chunk from an index->value map, sorting indices.
+// Zero values are kept (callers that want them dropped should filter first).
+func FromMap(m map[int32]float32) *Chunk {
+	c := &Chunk{
+		Idx: make([]int32, 0, len(m)),
+		Val: make([]float32, 0, len(m)),
+	}
+	for i := range m {
+		c.Idx = append(c.Idx, i)
+	}
+	sort.Slice(c.Idx, func(a, b int) bool { return c.Idx[a] < c.Idx[b] })
+	for _, i := range c.Idx {
+		c.Val = append(c.Val, m[i])
+	}
+	return c
+}
+
+// AddToDense scatters the chunk into the dense vector, adding values.
+func (c *Chunk) AddToDense(dense []float32) {
+	for i, idx := range c.Idx {
+		dense[idx] += c.Val[i]
+	}
+}
+
+// SetInDense scatters the chunk into the dense vector, overwriting values.
+func (c *Chunk) SetInDense(dense []float32) {
+	for i, idx := range c.Idx {
+		dense[idx] = c.Val[i]
+	}
+}
+
+// MergeAdd returns a new chunk containing the union of a's and b's indices;
+// values at indices present in both are summed. Both inputs are left
+// unmodified. Entries that sum to exactly zero are kept: dropping them would
+// silently lose residual mass and break conservation accounting.
+func MergeAdd(a, b *Chunk) *Chunk {
+	if a == nil || a.Len() == 0 {
+		if b == nil {
+			return &Chunk{}
+		}
+		return b.Clone()
+	}
+	if b == nil || b.Len() == 0 {
+		return a.Clone()
+	}
+	out := &Chunk{
+		Idx: make([]int32, 0, len(a.Idx)+len(b.Idx)),
+		Val: make([]float32, 0, len(a.Idx)+len(b.Idx)),
+	}
+	i, j := 0, 0
+	for i < len(a.Idx) && j < len(b.Idx) {
+		switch {
+		case a.Idx[i] < b.Idx[j]:
+			out.Idx = append(out.Idx, a.Idx[i])
+			out.Val = append(out.Val, a.Val[i])
+			i++
+		case a.Idx[i] > b.Idx[j]:
+			out.Idx = append(out.Idx, b.Idx[j])
+			out.Val = append(out.Val, b.Val[j])
+			j++
+		default:
+			out.Idx = append(out.Idx, a.Idx[i])
+			out.Val = append(out.Val, a.Val[i]+b.Val[j])
+			i++
+			j++
+		}
+	}
+	out.Idx = append(out.Idx, a.Idx[i:]...)
+	out.Val = append(out.Val, a.Val[i:]...)
+	out.Idx = append(out.Idx, b.Idx[j:]...)
+	out.Val = append(out.Val, b.Val[j:]...)
+	return out
+}
+
+// MergeAddAll merge-adds all chunks. Nil entries are skipped.
+func MergeAddAll(chunks []*Chunk) *Chunk {
+	out := &Chunk{}
+	for _, c := range chunks {
+		if c == nil || c.Len() == 0 {
+			continue
+		}
+		out = MergeAdd(out, c)
+	}
+	return out
+}
+
+// Concat concatenates chunks that cover pairwise-disjoint, ascending index
+// ranges (e.g. the per-block results of a reduce-scatter). It panics if the
+// inputs overlap or are out of order, because that indicates an algorithm
+// bug rather than a recoverable condition.
+func Concat(chunks []*Chunk) *Chunk {
+	out := &Chunk{}
+	last := int32(-1)
+	for _, c := range chunks {
+		if c == nil || c.Len() == 0 {
+			continue
+		}
+		if c.Idx[0] <= last {
+			panic(fmt.Sprintf("sparse: Concat inputs overlap or out of order (%d <= %d)", c.Idx[0], last))
+		}
+		out.Idx = append(out.Idx, c.Idx...)
+		out.Val = append(out.Val, c.Val...)
+		last = c.Idx[len(c.Idx)-1]
+	}
+	return out
+}
+
+// Slice returns the sub-chunk with indices in [lo, hi). The returned chunk
+// shares storage with c; callers must not mutate it.
+func (c *Chunk) Slice(lo, hi int32) *Chunk {
+	a := sort.Search(len(c.Idx), func(i int) bool { return c.Idx[i] >= lo })
+	b := sort.Search(len(c.Idx), func(i int) bool { return c.Idx[i] >= hi })
+	return &Chunk{Idx: c.Idx[a:b], Val: c.Val[a:b]}
+}
+
+// Sum returns the sum of all values in the chunk (float64 accumulator).
+func (c *Chunk) Sum() float64 {
+	var s float64
+	for _, v := range c.Val {
+		s += float64(v)
+	}
+	return s
+}

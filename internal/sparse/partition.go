@@ -1,0 +1,77 @@
+package sparse
+
+// Partition describes an even split of a length-n gradient vector into b
+// contiguous blocks. Block i covers [Offsets[i], Offsets[i+1]). The split is
+// balanced: block sizes differ by at most one, matching how SparDL and the
+// baselines partition gradients among workers.
+type Partition struct {
+	N       int
+	Blocks  int
+	Offsets []int
+}
+
+// NewPartition builds a balanced partition of n elements into blocks pieces.
+// It panics if blocks <= 0 or n < 0; a partition with more blocks than
+// elements is legal (trailing blocks are empty).
+func NewPartition(n, blocks int) *Partition {
+	if blocks <= 0 {
+		panic("sparse: partition needs at least one block")
+	}
+	if n < 0 {
+		panic("sparse: negative vector length")
+	}
+	p := &Partition{N: n, Blocks: blocks, Offsets: make([]int, blocks+1)}
+	q, r := n/blocks, n%blocks
+	off := 0
+	for i := 0; i < blocks; i++ {
+		p.Offsets[i] = off
+		off += q
+		if i < r {
+			off++
+		}
+	}
+	p.Offsets[blocks] = n
+	return p
+}
+
+// Bounds returns the [lo, hi) index range of block b.
+func (p *Partition) Bounds(b int) (lo, hi int) {
+	return p.Offsets[b], p.Offsets[b+1]
+}
+
+// Size returns the number of elements in block b.
+func (p *Partition) Size(b int) int {
+	return p.Offsets[b+1] - p.Offsets[b]
+}
+
+// BlockOf returns the block containing dense index i.
+func (p *Partition) BlockOf(i int32) int {
+	// Binary search over offsets; blocks is small (≤ P) so a linear scan
+	// would also do, but this keeps Split at O(nnz + blocks).
+	lo, hi := 0, p.Blocks-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(i) >= p.Offsets[mid+1] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Split cuts a chunk into per-block sub-chunks according to the partition.
+// The returned chunks share storage with c.
+func (p *Partition) Split(c *Chunk) []*Chunk {
+	out := make([]*Chunk, p.Blocks)
+	pos := 0
+	for b := 0; b < p.Blocks; b++ {
+		hi := p.Offsets[b+1]
+		start := pos
+		for pos < len(c.Idx) && int(c.Idx[pos]) < hi {
+			pos++
+		}
+		out[b] = &Chunk{Idx: c.Idx[start:pos], Val: c.Val[start:pos]}
+	}
+	return out
+}

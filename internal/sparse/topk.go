@@ -1,0 +1,210 @@
+package sparse
+
+// Top-k selection with deterministic tie-breaking.
+//
+// Every selection in this repository keeps the k entries with the largest
+// absolute values; ties on |value| are broken in favour of the *lower*
+// index. Determinism matters: SparDL's correctness argument requires that
+// workers holding identical data make identical selections (e.g. both sides
+// of an R-SAG exchange, or all members of a team after B-SAG), otherwise
+// model replicas diverge.
+
+// kthLargestAbs returns the k-th largest absolute value in vals (1-based k)
+// using an in-place iterative quickselect with median-of-three pivoting.
+// vals is clobbered. It panics if k is out of range.
+func kthLargestAbs(vals []float32, k int) float32 {
+	if k < 1 || k > len(vals) {
+		panic("sparse: quickselect k out of range")
+	}
+	// Select the element with rank len(vals)-k in ascending |v| order.
+	target := len(vals) - k
+	lo, hi := 0, len(vals)-1
+	for lo < hi {
+		// Median-of-three pivot guards against sorted inputs, which are
+		// common for already-selected gradient chunks.
+		mid := lo + (hi-lo)/2
+		if abs32(vals[mid]) < abs32(vals[lo]) {
+			vals[mid], vals[lo] = vals[lo], vals[mid]
+		}
+		if abs32(vals[hi]) < abs32(vals[lo]) {
+			vals[hi], vals[lo] = vals[lo], vals[hi]
+		}
+		if abs32(vals[hi]) < abs32(vals[mid]) {
+			vals[hi], vals[mid] = vals[mid], vals[hi]
+		}
+		pivot := abs32(vals[mid])
+		i, j := lo, hi
+		for i <= j {
+			for abs32(vals[i]) < pivot {
+				i++
+			}
+			for abs32(vals[j]) > pivot {
+				j--
+			}
+			if i <= j {
+				vals[i], vals[j] = vals[j], vals[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case target <= j:
+			hi = j
+		case target >= i:
+			lo = i
+		default:
+			return abs32(vals[target])
+		}
+	}
+	return abs32(vals[lo])
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TopKChunk splits c into the k entries with the largest |value| (kept) and
+// the remainder (dropped). Ties on |value| keep the lower index. If
+// k >= c.Len() the whole chunk is kept and dropped is empty. Both returned
+// chunks are freshly allocated and sorted by index.
+func TopKChunk(c *Chunk, k int) (kept, dropped *Chunk) {
+	n := c.Len()
+	if k >= n {
+		return c.Clone(), &Chunk{}
+	}
+	if k <= 0 {
+		return &Chunk{}, c.Clone()
+	}
+	scratch := make([]float32, n)
+	copy(scratch, c.Val)
+	thr := kthLargestAbs(scratch, k)
+
+	kept = &Chunk{Idx: make([]int32, 0, k), Val: make([]float32, 0, k)}
+	dropped = &Chunk{Idx: make([]int32, 0, n-k), Val: make([]float32, 0, n-k)}
+	// First pass: everything strictly above the threshold is kept.
+	strict := 0
+	for _, v := range c.Val {
+		if abs32(v) > thr {
+			strict++
+		}
+	}
+	slots := k - strict // entries exactly at the threshold that fit
+	for i, v := range c.Val {
+		switch {
+		case abs32(v) > thr:
+			kept.Idx = append(kept.Idx, c.Idx[i])
+			kept.Val = append(kept.Val, v)
+		case abs32(v) == thr && slots > 0:
+			kept.Idx = append(kept.Idx, c.Idx[i])
+			kept.Val = append(kept.Val, v)
+			slots--
+		default:
+			dropped.Idx = append(dropped.Idx, c.Idx[i])
+			dropped.Val = append(dropped.Val, v)
+		}
+	}
+	return kept, dropped
+}
+
+// TopKDense selects the top-k entries of dense[lo:hi) by absolute value and
+// returns them as a chunk with absolute indices. Ties keep the lower index.
+// Zeros are never selected (they carry no gradient information), so the
+// result may hold fewer than k entries for very sparse inputs.
+func TopKDense(dense []float32, lo, hi, k int) *Chunk {
+	n := hi - lo
+	if n <= 0 || k <= 0 {
+		return &Chunk{}
+	}
+	nz := 0
+	for i := lo; i < hi; i++ {
+		if dense[i] != 0 {
+			nz++
+		}
+	}
+	if nz == 0 {
+		return &Chunk{}
+	}
+	if k >= nz {
+		return FromDense(dense, lo, hi)
+	}
+	scratch := make([]float32, 0, nz)
+	for i := lo; i < hi; i++ {
+		if dense[i] != 0 {
+			scratch = append(scratch, dense[i])
+		}
+	}
+	thr := kthLargestAbs(scratch, k)
+	out := &Chunk{Idx: make([]int32, 0, k), Val: make([]float32, 0, k)}
+	strict := 0
+	for i := lo; i < hi; i++ {
+		if abs32(dense[i]) > thr {
+			strict++
+		}
+	}
+	slots := k - strict
+	for i := lo; i < hi; i++ {
+		v := dense[i]
+		if v == 0 {
+			continue
+		}
+		switch {
+		case abs32(v) > thr:
+			out.Idx = append(out.Idx, int32(i))
+			out.Val = append(out.Val, v)
+		case abs32(v) == thr && slots > 0:
+			out.Idx = append(out.Idx, int32(i))
+			out.Val = append(out.Val, v)
+			slots--
+		}
+	}
+	return out
+}
+
+// ThresholdChunk splits c into entries with |value| >= thr (kept) and the
+// rest (dropped). This is the "threshold pruning" primitive Ok-Topk uses in
+// place of exact top-k; the number of kept entries is data-dependent.
+func ThresholdChunk(c *Chunk, thr float32) (kept, dropped *Chunk) {
+	kept = &Chunk{}
+	dropped = &Chunk{}
+	for i, v := range c.Val {
+		if abs32(v) >= thr {
+			kept.Idx = append(kept.Idx, c.Idx[i])
+			kept.Val = append(kept.Val, v)
+		} else {
+			dropped.Idx = append(dropped.Idx, c.Idx[i])
+			dropped.Val = append(dropped.Val, v)
+		}
+	}
+	return kept, dropped
+}
+
+// ThresholdDense extracts entries of dense[lo:hi) with |value| >= thr.
+func ThresholdDense(dense []float32, lo, hi int, thr float32) *Chunk {
+	out := &Chunk{}
+	for i := lo; i < hi; i++ {
+		if v := dense[i]; v != 0 && abs32(v) >= thr {
+			out.Idx = append(out.Idx, int32(i))
+			out.Val = append(out.Val, v)
+		}
+	}
+	return out
+}
+
+// KthLargestAbs returns the k-th largest |value| among the non-zero entries
+// of dense (1-based). It returns 0 when there are fewer than k non-zeros.
+// Ok-Topk uses this to calibrate its pruning threshold.
+func KthLargestAbs(dense []float32, k int) float32 {
+	vals := make([]float32, 0, len(dense))
+	for _, v := range dense {
+		if v != 0 {
+			vals = append(vals, v)
+		}
+	}
+	if k < 1 || len(vals) < k {
+		return 0
+	}
+	return kthLargestAbs(vals, k)
+}

@@ -1,0 +1,202 @@
+package sparse
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopKChunkBasic(t *testing.T) {
+	c := chunkOf(0, 1, 1, -5, 2, 3, 3, -2, 4, 4)
+	kept, dropped := TopKChunk(c, 2)
+	assertChunkEqual(t, kept, chunkOf(1, -5, 4, 4))
+	assertChunkEqual(t, dropped, chunkOf(0, 1, 2, 3, 3, -2))
+}
+
+func TestTopKChunkTieBreaksByLowerIndex(t *testing.T) {
+	c := chunkOf(0, 2, 1, -2, 2, 2, 3, 2)
+	kept, dropped := TopKChunk(c, 2)
+	assertChunkEqual(t, kept, chunkOf(0, 2, 1, -2))
+	assertChunkEqual(t, dropped, chunkOf(2, 2, 3, 2))
+}
+
+func TestTopKChunkDegenerate(t *testing.T) {
+	c := chunkOf(0, 1, 1, 2)
+	kept, dropped := TopKChunk(c, 5)
+	assertChunkEqual(t, kept, c)
+	if dropped.Len() != 0 {
+		t.Fatal("expected no drops when k >= len")
+	}
+	kept, dropped = TopKChunk(c, 0)
+	if kept.Len() != 0 {
+		t.Fatal("expected empty keep for k=0")
+	}
+	assertChunkEqual(t, dropped, c)
+}
+
+func TestTopKDense(t *testing.T) {
+	dense := []float32{0.1, -9, 0, 3, 0.2, -3, 7}
+	c := TopKDense(dense, 0, len(dense), 3)
+	assertChunkEqual(t, c, chunkOf(1, -9, 3, 3, 6, 7))
+
+	// Sub-range with absolute indices.
+	c = TopKDense(dense, 3, 7, 1)
+	assertChunkEqual(t, c, chunkOf(6, 7))
+}
+
+func TestTopKDenseSkipsZeros(t *testing.T) {
+	dense := []float32{0, 0, 1, 0}
+	c := TopKDense(dense, 0, 4, 3)
+	assertChunkEqual(t, c, chunkOf(2, 1))
+}
+
+func TestThresholdChunk(t *testing.T) {
+	c := chunkOf(0, 0.5, 1, -2, 2, 1, 3, -0.5)
+	kept, dropped := ThresholdChunk(c, 1)
+	assertChunkEqual(t, kept, chunkOf(1, -2, 2, 1))
+	assertChunkEqual(t, dropped, chunkOf(0, 0.5, 3, -0.5))
+}
+
+func TestThresholdDense(t *testing.T) {
+	dense := []float32{0.5, -2, 0, 1, -0.25}
+	c := ThresholdDense(dense, 0, len(dense), 1)
+	assertChunkEqual(t, c, chunkOf(1, -2, 3, 1))
+}
+
+func TestKthLargestAbs(t *testing.T) {
+	dense := []float32{0, 3, -7, 1, 0, 5}
+	if got := KthLargestAbs(dense, 1); got != 7 {
+		t.Fatalf("k=1: got %g want 7", got)
+	}
+	if got := KthLargestAbs(dense, 3); got != 3 {
+		t.Fatalf("k=3: got %g want 3", got)
+	}
+	if got := KthLargestAbs(dense, 10); got != 0 {
+		t.Fatalf("k too large: got %g want 0", got)
+	}
+}
+
+// Property: TopKChunk keeps exactly min(k, len) entries, the kept set's
+// minimum |v| is >= the dropped set's maximum |v|, and kept+dropped is a
+// permutation of the input (mass conservation).
+func TestTopKChunkProperties(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomChunk(rng, 300, 2000)
+		k := int(kRaw)%(c.Len()+2) + 0 // k may exceed len
+		kept, dropped := TopKChunk(c, k)
+		if err := kept.Validate(); err != nil {
+			return false
+		}
+		if err := dropped.Validate(); err != nil {
+			return false
+		}
+		wantKept := k
+		if c.Len() < k {
+			wantKept = c.Len()
+		}
+		if kept.Len() != wantKept || kept.Len()+dropped.Len() != c.Len() {
+			return false
+		}
+		minKept := float32(1e30)
+		for _, v := range kept.Val {
+			if abs32(v) < minKept {
+				minKept = abs32(v)
+			}
+		}
+		for _, v := range dropped.Val {
+			if abs32(v) > minKept {
+				return false
+			}
+		}
+		// Union of indexes must reproduce the input exactly.
+		m := MergeAdd(kept, dropped)
+		if m.Len() != c.Len() {
+			return false
+		}
+		for i := range m.Idx {
+			if m.Idx[i] != c.Idx[i] || m.Val[i] != c.Val[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TopKDense agrees with a sort-based reference implementation on
+// selection magnitude (the exact index set may differ only within ties,
+// which the reference resolves identically: lower index wins).
+func TestTopKDenseMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(400)
+		dense := make([]float32, n)
+		for i := range dense {
+			if rng.Float64() < 0.7 {
+				dense[i] = float32(rng.NormFloat64())
+			}
+		}
+		k := 1 + rng.Intn(n/2)
+		got := TopKDense(dense, 0, n, k)
+		want := referenceTopK(dense, k)
+		if got.Len() != want.Len() {
+			return false
+		}
+		for i := range got.Idx {
+			if got.Idx[i] != want.Idx[i] || got.Val[i] != want.Val[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func referenceTopK(dense []float32, k int) *Chunk {
+	type entry struct {
+		idx int
+		val float32
+	}
+	var entries []entry
+	for i, v := range dense {
+		if v != 0 {
+			entries = append(entries, entry{i, v})
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool {
+		av, bv := abs32(entries[a].val), abs32(entries[b].val)
+		if av != bv {
+			return av > bv
+		}
+		return entries[a].idx < entries[b].idx
+	})
+	if k > len(entries) {
+		k = len(entries)
+	}
+	entries = entries[:k]
+	sort.Slice(entries, func(a, b int) bool { return entries[a].idx < entries[b].idx })
+	c := &Chunk{}
+	for _, e := range entries {
+		c.Idx = append(c.Idx, int32(e.idx))
+		c.Val = append(c.Val, e.val)
+	}
+	return c
+}
+
+func BenchmarkTopKDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	dense := make([]float32, 1<<20)
+	for i := range dense {
+		dense[i] = float32(rng.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopKDense(dense, 0, len(dense), len(dense)/100)
+	}
+}

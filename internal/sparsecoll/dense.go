@@ -1,0 +1,32 @@
+package sparsecoll
+
+import (
+	"spardl/internal/collective"
+	"spardl/internal/simnet"
+)
+
+// DenseAllReduce adapts the classical dense all-reduce algorithms to the
+// Reducer interface, as the no-compression baseline (the "S-SGD involves
+// significant data communications" starting point of Section I). It uses
+// Rabenseifner's algorithm when P is a power of two and the ring algorithm
+// otherwise; both transfer 2n(P-1)/P dense elements per worker.
+type DenseAllReduce struct{}
+
+// NewDense builds the dense all-reduce baseline; n and k are ignored.
+func NewDense(p, rank, n, k int) Reducer { return DenseAllReduce{} }
+
+// Name implements Reducer.
+func (DenseAllReduce) Name() string { return "Dense" }
+
+// Reduce implements Reducer.
+func (DenseAllReduce) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
+	out := make([]float32, len(grad))
+	copy(out, grad)
+	ChargeMerge(ep, len(grad))
+	if p := ep.P(); p&(p-1) == 0 {
+		collective.RabenseifnerAllReduce(ep, out)
+	} else {
+		collective.RingAllReduce(ep, out)
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package sparsecoll
+
+import (
+	"math"
+	"testing"
+)
+
+// Every baseline must degrade gracefully at the extremes: a single worker
+// (no communication at all) and k close to n (barely sparse).
+func TestSingleWorkerAllMethods(t *testing.T) {
+	factories := map[string]Factory{
+		"TopkA":   NewTopkA,
+		"TopkDSA": NewTopkDSA,
+		"gTopk":   NewGTopk,
+		"OkTopk":  NewOkTopk,
+		"Dense":   NewDense,
+	}
+	for name, f := range factories {
+		outs, _, _ := runMethod(f, 1, 300, 30, 2, 3)
+		nz := 0
+		for _, v := range outs[0][0] {
+			if v != 0 {
+				nz++
+			}
+		}
+		if nz == 0 {
+			t.Fatalf("%s: P=1 produced empty gradient", name)
+		}
+	}
+}
+
+func TestNearDenseK(t *testing.T) {
+	const p, n = 4, 200
+	k := n - 1
+	for name, f := range map[string]Factory{
+		"TopkA":   NewTopkA,
+		"TopkDSA": NewTopkDSA,
+		"gTopk":   NewGTopk,
+		"OkTopk":  NewOkTopk,
+	} {
+		outs, _, _ := runMethod(f, p, n, k, 2, 4)
+		assertConsistent(t, outs)
+		_ = name
+	}
+}
+
+func TestTinyK(t *testing.T) {
+	// k < P stresses the per-block floor of one entry.
+	const p, n, k = 8, 400, 3
+	for name, f := range map[string]Factory{
+		"TopkA":   NewTopkA,
+		"TopkDSA": NewTopkDSA,
+		"OkTopk":  NewOkTopk,
+	} {
+		outs, _, _ := runMethod(f, p, n, k, 3, 5)
+		assertConsistent(t, outs)
+		_ = name
+	}
+}
+
+// The residual of every LRES/PRES method must never contain a value at an
+// index the worker itself selected and that reached the final gradient —
+// that mass would be double-counted next iteration.
+func TestNoDoubleCounting(t *testing.T) {
+	const p, n, k, iters, seed = 4, 800, 40, 3, 6
+	for name, f := range map[string]Factory{
+		"TopkA":   NewTopkA,
+		"TopkDSA": NewTopkDSA,
+		"OkTopk":  NewOkTopk,
+	} {
+		outs, reds, _ := runMethod(f, p, n, k, iters, seed)
+		// Conservation (verified elsewhere) plus: total |residual| must be
+		// bounded by total |injected| — a gross double-count would exceed it.
+		grads := makeGradients(iters, p, n, seed)
+		var injAbs, resAbs float64
+		for it := range grads {
+			for w := range grads[it] {
+				for _, v := range grads[it][w] {
+					injAbs += math.Abs(float64(v))
+				}
+			}
+		}
+		for _, r := range reds {
+			for _, v := range r.(ResidualCarrier).Residual() {
+				resAbs += math.Abs(float64(v))
+			}
+		}
+		if resAbs > injAbs {
+			t.Fatalf("%s: residual mass %.1f exceeds injected %.1f", name, resAbs, injAbs)
+		}
+		_ = outs
+	}
+}
+
+func TestReducerNames(t *testing.T) {
+	names := map[string]Reducer{
+		"TopkA":   NewTopkA(4, 0, 100, 10),
+		"TopkDSA": NewTopkDSA(4, 0, 100, 10),
+		"gTopk":   NewGTopk(4, 0, 100, 10),
+		"OkTopk":  NewOkTopk(4, 0, 100, 10),
+		"Dense":   NewDense(4, 0, 100, 10),
+	}
+	for want, r := range names {
+		if r.Name() != want {
+			t.Fatalf("Name() = %q, want %q", r.Name(), want)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package sparsecoll
+
+import (
+	"fmt"
+
+	"spardl/internal/simnet"
+	"spardl/internal/sparse"
+)
+
+// GTopk is the global top-k sparse all-reduce of Shi et al. [ICDCS'19]:
+// a binary reduction tree carries local top-k sets toward rank 0, selecting
+// top-k after every merge so messages never grow; a broadcast tree then
+// distributes the exact global top-k. Both trees take log₂P rounds of 2k
+// wire elements, giving 2log₂P·α + 4log₂P·kβ (Table I) — bandwidth grows
+// with log P because tree-internal workers re-transmit whole selections.
+// gTopk is defined only for power-of-two P (the paper evaluates it solely
+// at P=8, Fig. 12).
+//
+// Residuals: local + end-procedure (PRES) — a worker zeroes its residual
+// only at indices it both selected locally and that survived into the
+// global top-k; contributions discarded inside the tree (in-procedure) are
+// lost, which is exactly the deficiency SparDL's GRES addresses.
+type GTopk struct {
+	n, k     int
+	residual []float32
+}
+
+// NewGTopk builds the gTopk reducer for one worker. It panics if P is not
+// a power of two, matching the algorithm's domain.
+func NewGTopk(p, rank, n, k int) Reducer {
+	if p&(p-1) != 0 {
+		panic(fmt.Sprintf("sparsecoll: gTopk requires power-of-two workers, got %d", p))
+	}
+	return &GTopk{n: n, k: k, residual: make([]float32, n)}
+}
+
+// Name implements Reducer.
+func (g *GTopk) Name() string { return "gTopk" }
+
+// Reduce implements Reducer.
+func (g *GTopk) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
+	acc, _ := accumulate(grad, g.residual)
+	p, me := ep.P(), ep.Rank()
+
+	local := sparse.TopKDense(acc, 0, g.n, g.k)
+	ChargeScan(ep, g.n)
+
+	// Reduction tree: at level dist, workers whose rank is an odd multiple
+	// of dist send their running selection to rank-dist and drop out.
+	cur := local
+	sentAt := 0 // tree level at which this worker went passive (0 = never)
+	for dist := 1; dist < p; dist *= 2 {
+		if me%(2*dist) == dist {
+			ep.Send(me-dist, cur, cur.WireBytes())
+			sentAt = dist
+			break
+		}
+		in, _ := ep.Recv(me + dist)
+		got := in.(*sparse.Chunk)
+		ChargeMerge(ep, got.Len()+cur.Len())
+		merged := sparse.MergeAdd(cur, got)
+		cur, _ = sparse.TopKChunk(merged, g.k)
+		ChargeScan(ep, merged.Len())
+	}
+
+	// Broadcast tree (reverse): rank 0 holds the global top-k; each worker
+	// that received in the reduction phase now sends downward.
+	var global *sparse.Chunk
+	if sentAt == 0 {
+		global = cur // rank 0
+	} else {
+		in, _ := ep.Recv(me - sentAt)
+		global = in.(*sparse.Chunk)
+	}
+	start := sentAt / 2
+	if sentAt == 0 {
+		start = p / 2
+	}
+	for dist := start; dist >= 1; dist /= 2 {
+		ep.Send(me+dist, global, global.WireBytes())
+	}
+
+	// PRES residual: zero only where our local selection made the global
+	// set; everything else (including in-tree discards) stays local.
+	copy(g.residual, acc)
+	globalSet := make(map[int32]struct{}, global.Len())
+	for _, idx := range global.Idx {
+		globalSet[idx] = struct{}{}
+	}
+	for _, idx := range local.Idx {
+		if _, ok := globalSet[idx]; ok {
+			g.residual[idx] = 0
+		}
+	}
+
+	return scatterChunks(g.n, []*sparse.Chunk{global})
+}

@@ -1,0 +1,80 @@
+// Package sparsecoll implements the sparse all-reduce baselines the paper
+// compares against (Table I): TopkA and TopkDSA from SparCML, gTopk, and
+// the state-of-the-art Ok-Topk, plus a dense all-reduce adapter. Each
+// method is a Reducer: per-worker state (residual accumulators, threshold
+// estimators) lives inside the instance, and Reduce performs one
+// synchronization step over the simulated fabric.
+package sparsecoll
+
+import (
+	"spardl/internal/simnet"
+	"spardl/internal/sparse"
+)
+
+// Reducer synchronizes one worker's dense gradient with all peers and
+// returns the global (sparse-summed) gradient, densified. After Reduce
+// returns, every worker holds an identical result vector — the property
+// synchronous SGD requires. Implementations keep per-worker residual state,
+// so construct one Reducer per worker and reuse it across iterations.
+type Reducer interface {
+	Name() string
+	// Reduce consumes the local dense gradient for this iteration (the
+	// slice is not retained or mutated) and returns the synchronized
+	// global gradient.
+	Reduce(ep *simnet.Endpoint, grad []float32) []float32
+}
+
+// Factory builds a Reducer for one worker of a P-worker cluster that
+// synchronizes length-n gradients, keeping k global entries per iteration.
+type Factory func(p, rank, n, k int) Reducer
+
+// CompCost models the local-computation virtual time charged while
+// executing a reducer: selections scan elements, merges touch sparse
+// entries. The defaults approximate a few GB/s of selection throughput,
+// in line with the paper treating selection as a minor but non-zero part
+// of per-update computation cost.
+type CompCost struct {
+	PerElementScan float64 // seconds per element scanned by a selection
+	PerEntryMerge  float64 // seconds per sparse entry merged or summed
+}
+
+// DefaultCompCost is used by all reducers in this package and in core.
+var DefaultCompCost = CompCost{PerElementScan: 0.5e-9, PerEntryMerge: 2e-9}
+
+// ChargeScan advances ep's clock for a selection pass over n elements.
+func ChargeScan(ep *simnet.Endpoint, n int) {
+	ep.Compute(DefaultCompCost.PerElementScan * float64(n))
+}
+
+// ChargeMerge advances ep's clock for merging n sparse entries.
+func ChargeMerge(ep *simnet.Endpoint, n int) {
+	ep.Compute(DefaultCompCost.PerEntryMerge * float64(n))
+}
+
+// accumulate adds the stored residual into grad and returns the working
+// copy plus a snapshot (the "G_copy" of Algorithm 1) used for residual
+// bookkeeping at the end of the iteration.
+func accumulate(grad, residual []float32) (acc, snapshot []float32) {
+	acc = make([]float32, len(grad))
+	copy(acc, grad)
+	for i, r := range residual {
+		acc[i] += r
+	}
+	snapshot = make([]float32, len(acc))
+	copy(snapshot, acc)
+	return acc, snapshot
+}
+
+// scatterChunks densifies reduced chunks into a fresh vector of length n.
+func scatterChunks(n int, chunks []*sparse.Chunk) []float32 {
+	out := make([]float32, n)
+	for _, c := range chunks {
+		if c != nil {
+			c.AddToDense(out)
+		}
+	}
+	return out
+}
+
+// chunkItemBytes sizes *sparse.Chunk payloads for the generic all-gather.
+func chunkItemBytes(it any) int { return it.(*sparse.Chunk).WireBytes() }

@@ -1,0 +1,21 @@
+package sparsecoll
+
+// ResidualCarrier is implemented by reducers that maintain a residual
+// accumulator. The returned slice is the live internal state; callers must
+// treat it as read-only. Tests use it to verify conservation laws, and the
+// diagnostics in cmd/spardl-train report residual mass.
+type ResidualCarrier interface {
+	Residual() []float32
+}
+
+// Residual implements ResidualCarrier.
+func (t *TopkA) Residual() []float32 { return t.residual }
+
+// Residual implements ResidualCarrier.
+func (t *TopkDSA) Residual() []float32 { return t.residual }
+
+// Residual implements ResidualCarrier.
+func (g *GTopk) Residual() []float32 { return g.residual }
+
+// Residual implements ResidualCarrier.
+func (o *OkTopk) Residual() []float32 { return o.residual }

@@ -1,0 +1,56 @@
+package sparsecoll
+
+import (
+	"spardl/internal/collective"
+	"spardl/internal/simnet"
+	"spardl/internal/sparse"
+)
+
+// TopkA is SparCML's sparse all-gather all-reduce [Renggli et al., SC'19]:
+// every worker selects its local top-k, all workers all-gather the k-sized
+// chunks (⌈log₂P⌉ rounds), and each worker sums the P chunks locally. SGA
+// is "alleviated" only in the sense that no intermediate summation happens
+// on the wire — the price is bandwidth proportional to the worker count:
+// 2(P-1)k·β (Table I), versus SparDL's 4k(P-1)/P·β.
+//
+// Residuals: local only (LRES) — values not selected by the local top-k
+// feed back into the next iteration, as in SparCML.
+type TopkA struct {
+	n, k     int
+	residual []float32
+}
+
+// NewTopkA builds the TopkA reducer for one worker.
+func NewTopkA(p, rank, n, k int) Reducer {
+	return &TopkA{n: n, k: k, residual: make([]float32, n)}
+}
+
+// Name implements Reducer.
+func (t *TopkA) Name() string { return "TopkA" }
+
+// Reduce implements Reducer.
+func (t *TopkA) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
+	acc, _ := accumulate(grad, t.residual)
+
+	local := sparse.TopKDense(acc, 0, t.n, t.k)
+	ChargeScan(ep, t.n)
+
+	// LRES: everything not selected locally stays as residual.
+	copy(t.residual, acc)
+	for _, idx := range local.Idx {
+		t.residual[idx] = 0
+	}
+
+	p := ep.P()
+	items := collective.BruckAllGather(ep, collective.WorldRanks(p), ep.Rank(), local, chunkItemBytes)
+	chunks := make([]*sparse.Chunk, len(items))
+	total := 0
+	for i, it := range items {
+		chunks[i] = it.(*sparse.Chunk)
+		total += chunks[i].Len()
+	}
+	ChargeMerge(ep, total)
+	// The union may hold up to P·k distinct indices — TopkA simply accepts
+	// the densification (the SGA growth happens locally, not on the wire).
+	return scatterChunks(t.n, chunks)
+}

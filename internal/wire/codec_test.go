@@ -1,0 +1,150 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"spardl/internal/sparse"
+)
+
+func randomChunk(rng *rand.Rand, maxLen, space int) *sparse.Chunk {
+	m := map[int32]float32{}
+	for i := 0; i < rng.Intn(maxLen); i++ {
+		m[int32(rng.Intn(space))] = float32(rng.NormFloat64())
+	}
+	return sparse.FromMap(m)
+}
+
+func assertEqual(t *testing.T, got, want *sparse.Chunk) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("len %d != %d", got.Len(), want.Len())
+	}
+	for i := range got.Idx {
+		if got.Idx[i] != want.Idx[i] || got.Val[i] != want.Val[i] {
+			t.Fatalf("entry %d: (%d,%g) != (%d,%g)", i, got.Idx[i], got.Val[i], want.Idx[i], want.Val[i])
+		}
+	}
+}
+
+func TestRoundTripAllFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := randomChunk(rng, 200, 1000)
+	for name, enc := range map[string][]byte{
+		"coo":    EncodeCOO(c),
+		"delta":  EncodeDelta(c),
+		"bitmap": EncodeBitmap(c, 0, 1000),
+	} {
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertEqual(t, got, c)
+	}
+}
+
+func TestEncodePicksSmallest(t *testing.T) {
+	// Very sparse over a huge range → delta or COO, never bitmap.
+	sparse1 := &sparse.Chunk{Idx: []int32{5, 100000}, Val: []float32{1, 2}}
+	buf, f := Encode(sparse1, 0, 1<<20)
+	if f == FormatBitmap {
+		t.Fatalf("bitmap chosen for density 2/1M (%d bytes)", len(buf))
+	}
+	// Dense range → bitmap wins over COO.
+	denseIdx := make([]int32, 500)
+	denseVal := make([]float32, 500)
+	for i := range denseIdx {
+		denseIdx[i] = int32(i * 2)
+		denseVal[i] = float32(i)
+	}
+	c := &sparse.Chunk{Idx: denseIdx, Val: denseVal}
+	buf2, f2 := Encode(c, 0, 1000)
+	if f2 != FormatBitmap {
+		t.Fatalf("expected bitmap for 50%% density, got %v (%d bytes)", f2, len(buf2))
+	}
+	if len(buf2) >= COOBytes(c.Len()) {
+		t.Fatalf("bitmap (%d) not smaller than COO (%d)", len(buf2), COOBytes(c.Len()))
+	}
+}
+
+func TestDeltaBeatsCOOOnClusteredIndices(t *testing.T) {
+	idx := make([]int32, 300)
+	val := make([]float32, 300)
+	for i := range idx {
+		idx[i] = int32(1000 + i) // consecutive → gaps of 1 → 1-byte varints
+		val[i] = 1
+	}
+	c := &sparse.Chunk{Idx: idx, Val: val}
+	if len(EncodeDelta(c)) >= COOBytes(c.Len()) {
+		t.Fatalf("delta (%d) should beat COO (%d) on consecutive indices",
+			len(EncodeDelta(c)), COOBytes(c.Len()))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("nil buffer accepted")
+	}
+	if _, err := Decode(make([]byte, 5)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	bad := EncodeCOO(&sparse.Chunk{Idx: []int32{1}, Val: []float32{2}})
+	bad[0] = 99
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	trunc := EncodeCOO(&sparse.Chunk{Idx: []int32{1, 2}, Val: []float32{3, 4}})
+	if _, err := Decode(trunc[:len(trunc)-3]); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+func TestEncodeRangePanicsOutside(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range indices")
+		}
+	}()
+	Encode(&sparse.Chunk{Idx: []int32{50}, Val: []float32{1}}, 0, 10)
+}
+
+// Property: Encode/Decode round-trips arbitrary chunks and never exceeds
+// the COO accounting baseline by more than the header.
+func TestEncodeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		space := 100 + rng.Intn(5000)
+		c := randomChunk(rng, 300, space)
+		buf, _ := Encode(c, 0, int32(space))
+		got, err := Decode(buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != c.Len() {
+			return false
+		}
+		for i := range got.Idx {
+			if got.Idx[i] != c.Idx[i] || got.Val[i] != c.Val[i] {
+				return false
+			}
+		}
+		// The selector must never do worse than plain COO.
+		return len(buf) <= COOBytes(c.Len())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeDecodeDelta(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	c := randomChunk(rng, 10000, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := EncodeDelta(c)
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

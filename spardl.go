@@ -1,0 +1,156 @@
+// Package spardl is a Go implementation of SparDL — "Distributed Deep
+// Learning Training with Efficient Sparse Communication" (Zhao et al.,
+// ICDE 2024) — together with the sparse all-reduce baselines it is
+// evaluated against (TopkA, TopkDSA, gTopk, Ok-Topk), a deterministic
+// α-β-model cluster simulator, a small autograd engine, and the full
+// experiment harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// # Quick start
+//
+//	fabric := spardl.NewFabric(8, spardl.Ethernet)
+//	// one reducer per worker goroutine:
+//	r, _ := spardl.New(8, rank, n, k, spardl.Options{})
+//	global := r.Reduce(fabric.Endpoint(rank), grad)
+//
+// See examples/ for runnable programs and cmd/spardl-bench for the
+// experiment harness.
+package spardl
+
+import (
+	"spardl/internal/core"
+	"spardl/internal/expt"
+	"spardl/internal/simnet"
+	"spardl/internal/sparsecoll"
+	"spardl/internal/train"
+)
+
+// Reducer synchronizes one worker's dense gradient with all peers and
+// returns the global sparse-summed gradient; see sparsecoll.Reducer.
+type Reducer = sparsecoll.Reducer
+
+// Factory builds one Reducer per worker.
+type Factory = sparsecoll.Factory
+
+// SparDL is the paper's framework: Spar-Reduce-Scatter, global residual
+// collection, and the R-SAG / B-SAG team synchronization algorithms.
+type SparDL = core.SparDL
+
+// Options configures SparDL (team count d, SAG variant, residual mode).
+type Options = core.Options
+
+// ResidualMode selects the residual collection algorithm.
+type ResidualMode = core.ResidualMode
+
+// Residual collection algorithms (Section III-C of the paper).
+const (
+	GRES = core.GRES // global residual collection (the paper's algorithm)
+	PRES = core.PRES // partial (local + end-procedure), as gTopk/Ok-Topk
+	LRES = core.LRES // local only, as DGC
+)
+
+// Variant selects the Spar-All-Gather algorithm.
+type Variant = core.Variant
+
+// Spar-All-Gather variants (Section III-D of the paper).
+const (
+	Auto = core.Auto // R-SAG when d is a power of two, else B-SAG
+	RSAG = core.RSAG
+	BSAG = core.BSAG
+)
+
+// New builds a SparDL reducer for one worker of a P-worker cluster
+// synchronizing length-n gradients with global selection size k.
+func New(p, rank, n, k int, opts Options) (*SparDL, error) {
+	return core.New(p, rank, n, k, opts)
+}
+
+// NewFactory returns a Factory producing SparDL reducers with the given
+// options; it panics on invalid options.
+func NewFactory(opts Options) Factory { return core.NewFactory(opts) }
+
+// Baseline reducer factories (the methods of the paper's Table I).
+var (
+	TopkA   Factory = sparsecoll.NewTopkA
+	TopkDSA Factory = sparsecoll.NewTopkDSA
+	GTopk   Factory = sparsecoll.NewGTopk
+	OkTopk  Factory = sparsecoll.NewOkTopk
+	Dense   Factory = sparsecoll.NewDense
+)
+
+// Methods maps method names to factories for CLI-style selection. SparDL
+// variants are constructed via NewFactory instead.
+var Methods = map[string]Factory{
+	"topka":   TopkA,
+	"topkdsa": TopkDSA,
+	"gtopk":   GTopk,
+	"oktopk":  OkTopk,
+	"dense":   Dense,
+}
+
+// Network / cluster simulation.
+type (
+	// Fabric is the simulated α-β network connecting P workers.
+	Fabric = simnet.Fabric
+	// Endpoint is one worker's handle on the fabric (virtual clock,
+	// traffic statistics).
+	Endpoint = simnet.Endpoint
+	// Profile is a network profile (latency α seconds, β seconds/byte).
+	Profile = simnet.Profile
+	// Report aggregates per-worker statistics of a cluster run.
+	Report = simnet.Report
+)
+
+// Built-in network profiles.
+var (
+	Ethernet = simnet.Ethernet
+	RDMA     = simnet.RDMA
+)
+
+// NewFabric creates a simulated network for p workers.
+func NewFabric(p int, profile Profile) *Fabric { return simnet.New(p, profile) }
+
+// RunCluster executes worker(rank, endpoint) on p goroutines over a fresh
+// fabric and reports per-worker costs.
+func RunCluster(p int, profile Profile, worker func(rank int, ep *Endpoint)) *Report {
+	return simnet.Run(p, profile, worker)
+}
+
+// Distributed training.
+type (
+	// TrainConfig configures a distributed S-SGD session.
+	TrainConfig = train.Config
+	// TrainResult is the trajectory and cost summary of a session.
+	TrainResult = train.Result
+	// Case is one of the paper's seven deep-learning cases.
+	Case = train.Case
+)
+
+// Train runs one distributed S-SGD session on the simulated cluster.
+func Train(cfg TrainConfig) *TrainResult { return train.Run(cfg) }
+
+// Cases lists the paper's seven cases (Table II) as scaled stand-ins.
+func Cases() []*Case { return train.Cases }
+
+// CaseByID returns the case with the given Table II number (1-7).
+func CaseByID(id int) *Case { return train.CaseByID(id) }
+
+// Experiments.
+type (
+	// Experiment reproduces one table or figure of the paper.
+	Experiment = expt.Experiment
+	// ResultTable is a rendered experiment artifact.
+	ResultTable = expt.Table
+)
+
+// Experiment scale presets.
+const (
+	Quick     = expt.Quick
+	FullScale = expt.Full
+)
+
+// Experiments returns every registered experiment, sorted by id.
+func Experiments() []*Experiment { return expt.All() }
+
+// ExperimentByID finds one experiment (e.g. "fig9", "table1").
+func ExperimentByID(id string) (*Experiment, error) { return expt.ByID(id) }
