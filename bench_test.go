@@ -86,9 +86,13 @@ func BenchmarkExtHetero(b *testing.B) { benchExperiment(b, "ext-hetero") }
 // BenchmarkExtWire measures negotiated wire encodings for sparse messages.
 func BenchmarkExtWire(b *testing.B) { benchExperiment(b, "ext-wire") }
 
-// BenchmarkReduceOnce isolates one SparDL synchronization at paper-like
-// sizes (n=1M, k=10k, P=14) — the core-library hot path.
-func BenchmarkReduceOnce(b *testing.B) {
+// BenchmarkExtWireE2E regenerates the end-to-end wire-mode comparison.
+func BenchmarkExtWireE2E(b *testing.B) { benchExperiment(b, "ext-wire-e2e") }
+
+// benchReduceOnce isolates one SparDL synchronization at paper-like sizes
+// (n=1M, k=10k, P=14) — the core-library hot path — under one wire mode.
+func benchReduceOnce(b *testing.B, mode spardl.WireMode) {
+	b.Helper()
 	const p, n, k = 14, 1 << 20, 1 << 20 / 100
 	grads := make([][]float32, p)
 	for w := range grads {
@@ -100,7 +104,7 @@ func BenchmarkReduceOnce(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		spardl.RunCluster(p, spardl.Ethernet, func(rank int, ep *spardl.Endpoint) {
-			r, err := spardl.New(p, rank, n, k, spardl.Options{})
+			r, err := spardl.New(p, rank, n, k, spardl.Options{Wire: mode})
 			if err != nil {
 				b.Error(err)
 				return
@@ -111,3 +115,14 @@ func BenchmarkReduceOnce(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkReduceOnce is the COO-accounting baseline of the hot path.
+func BenchmarkReduceOnce(b *testing.B) { benchReduceOnce(b, spardl.WireCOO) }
+
+// BenchmarkReduceOnceNegotiated sizes every message through the codec
+// without materializing buffers; the sizing pass must stay cheap.
+func BenchmarkReduceOnceNegotiated(b *testing.B) { benchReduceOnce(b, spardl.WireNegotiated) }
+
+// BenchmarkReduceOnceEncoded round-trips every message through
+// Encode/Decode — the upper bound on transport overhead.
+func BenchmarkReduceOnceEncoded(b *testing.B) { benchReduceOnce(b, spardl.WireEncoded) }

@@ -6,29 +6,113 @@
 //	spardl-bench -list
 //	spardl-bench -run fig9
 //	spardl-bench -run all -full -o results.txt
+//	spardl-bench -reduce-baseline BENCH_reduce.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"testing"
 	"time"
 
 	"spardl"
 )
 
+// reduceBaseline is the JSON perf record emitted by -reduce-baseline: the
+// ns/op and bytes-on-wire baseline of one SparDL synchronization at
+// paper-like sizes (the BenchmarkReduceOnce workload), tracked across PRs.
+type reduceBaseline struct {
+	Benchmark   string `json:"benchmark"`
+	P           int    `json:"p"`
+	N           int    `json:"n"`
+	K           int    `json:"k"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// Cluster-wide wire volume of one synchronization under each mode.
+	WireBytesCOO        int64 `json:"wire_bytes_coo"`
+	WireBytesNegotiated int64 `json:"wire_bytes_negotiated"`
+}
+
+// runReduceOnce performs one full-cluster SparDL synchronization and
+// returns the cluster-wide received bytes.
+func runReduceOnce(p, n, k int, mode spardl.WireMode, grads [][]float32) int64 {
+	rep := spardl.RunCluster(p, spardl.Ethernet, func(rank int, ep *spardl.Endpoint) {
+		r, err := spardl.New(p, rank, n, k, spardl.Options{Wire: mode})
+		if err != nil {
+			panic(err)
+		}
+		g := make([]float32, n)
+		copy(g, grads[rank])
+		r.Reduce(ep, g)
+	})
+	return rep.TotalBytesRecv()
+}
+
+// emitReduceBaseline measures the BenchmarkReduceOnce workload with
+// testing.Benchmark and writes the JSON record to path.
+func emitReduceBaseline(path string) error {
+	const p, n, k = 14, 1 << 20, 1 << 20 / 100
+	grads := make([][]float32, p)
+	for w := range grads {
+		grads[w] = make([]float32, n)
+		for i := range grads[w] {
+			grads[w][i] = float32((i*7+w)%101) / 100
+		}
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runReduceOnce(p, n, k, spardl.WireCOO, grads)
+		}
+	})
+	rec := reduceBaseline{
+		Benchmark:           "ReduceOnce",
+		P:                   p,
+		N:                   n,
+		K:                   k,
+		Iterations:          res.N,
+		NsPerOp:             res.NsPerOp(),
+		AllocsPerOp:         res.AllocsPerOp(),
+		BytesPerOp:          res.AllocedBytesPerOp(),
+		WireBytesCOO:        runReduceOnce(p, n, k, spardl.WireCOO, grads),
+		WireBytesNegotiated: runReduceOnce(p, n, k, spardl.WireNegotiated, grads),
+	}
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s:\n%s", path, out)
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spardl-bench: ")
 	var (
-		list = flag.Bool("list", false, "list available experiments and exit")
-		run  = flag.String("run", "", "experiment id to run, or \"all\"")
-		full = flag.Bool("full", false, "paper-faithful scale (longer runs) instead of quick mode")
-		out  = flag.String("o", "", "also write results to this file")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		run      = flag.String("run", "", "experiment id to run, or \"all\"")
+		full     = flag.Bool("full", false, "paper-faithful scale (longer runs) instead of quick mode")
+		out      = flag.String("o", "", "also write results to this file")
+		baseline = flag.String("reduce-baseline", "", "write the BenchmarkReduceOnce perf baseline (ns/op, bytes-on-wire) to this JSON file and exit")
 	)
 	flag.Parse()
+
+	if *baseline != "" {
+		if err := emitReduceBaseline(*baseline); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *list || *run == "" {
 		fmt.Println("available experiments:")

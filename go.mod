@@ -1,0 +1,3 @@
+module spardl
+
+go 1.22

@@ -21,7 +21,13 @@ func WorldRanks(p int) []int {
 	return r
 }
 
-// SizeFunc reports the wire size in bytes of one gathered item.
+// SizeFunc reports the wire size in bytes of one gathered item. Callers
+// choose the accounting: the sparse methods pass wire.Transport.ItemBytes,
+// so an item can be a bare *sparse.Chunk (COO or negotiated-codec sizing)
+// or an already-encoded []byte buffer that intermediate hops forward
+// verbatim. A SizeFunc must be deterministic in the item alone — Bruck and
+// recursive doubling re-size the same item on every forwarding hop, and
+// workers must agree on the charged volume.
 type SizeFunc func(item any) int
 
 // BruckAllGather runs the Bruck all-gather schedule among the group members

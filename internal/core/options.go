@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"spardl/internal/sparsecoll"
+	"spardl/internal/wire"
 )
 
 // ResidualMode selects which discarded gradients feed back into the next
@@ -67,6 +68,22 @@ func (v Variant) String() string {
 	return fmt.Sprintf("Variant(%d)", int(v))
 }
 
+// WireMode selects the transport representation — and therefore the α-β
+// byte accounting — of every sparse message a reducer sends.
+type WireMode = wire.Mode
+
+const (
+	// WireCOO charges the paper's COO accounting: 8 bytes per entry, no
+	// header. The default; reproduces Table I bit-for-bit.
+	WireCOO = wire.ModeCOO
+	// WireNegotiated charges the smallest self-describing encoding
+	// (COO / delta-varint / bitmap) per message without materializing it.
+	WireNegotiated = wire.ModeNegotiated
+	// WireEncoded actually encodes at the sender and decodes at the
+	// receiver — the byte-accurate realism/debug mode.
+	WireEncoded = wire.ModeEncoded
+)
+
 // Options configures a SparDL reducer.
 type Options struct {
 	// Teams is the number of teams d (Section III-D). d must divide P.
@@ -81,6 +98,9 @@ type Options struct {
 	// sparsified immediately after every summation instead of lazily right
 	// before transmission. Used by the ablation benches.
 	Eager bool
+	// Wire selects the transport representation of sparse messages
+	// (default WireCOO, the paper's 8-bytes-per-entry accounting).
+	Wire WireMode
 }
 
 // withDefaults normalizes zero values.

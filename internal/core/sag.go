@@ -22,8 +22,9 @@ func (s *SparDL) runRSAG(ep *simnet.Endpoint, mine *sparse.Chunk) *sparse.Chunk 
 	share := float32(0.5)
 	for dist := 1; dist < s.d; dist *= 2 {
 		peer := s.groupRanks[s.team^dist]
-		in, _ := ep.SendRecv(peer, mine, mine.WireBytes())
-		got := in.(*sparse.Chunk)
+		pk, bytes := s.tx.Pack(mine)
+		in, _ := ep.SendRecv(peer, pk, bytes)
+		got := s.tx.Unpack(in)
 		sparsecoll.ChargeMerge(ep, got.Len()+mine.Len())
 		merged := sparse.MergeAdd(mine, got)
 		kept, dropped := sparse.TopKChunk(merged, s.blockK)
@@ -51,11 +52,12 @@ func (s *SparDL) runBSAG(ep *simnet.Endpoint, mine *sparse.Chunk) *sparse.Chunk 
 	// pre-gather drops are collected in full.
 	addDrops(s.stepRes, dropped, 1)
 
-	items := collective.BruckAllGather(ep, s.groupRanks, s.team, sel, chunkBytes)
+	own := s.tx.PackItem(sel)
+	items := collective.BruckAllGather(ep, s.groupRanks, s.team, own, s.tx.ItemBytes)
 	chunks := make([]*sparse.Chunk, len(items))
 	total := 0
 	for i, it := range items {
-		chunks[i] = it.(*sparse.Chunk)
+		chunks[i] = s.tx.Unpack(it)
 		total += chunks[i].Len()
 	}
 	sparsecoll.ChargeMerge(ep, total)

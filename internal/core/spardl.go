@@ -7,6 +7,7 @@ import (
 	"spardl/internal/simnet"
 	"spardl/internal/sparse"
 	"spardl/internal/sparsecoll"
+	"spardl/internal/wire"
 )
 
 // SparDL is the paper's sparse communication framework. One instance per
@@ -27,8 +28,9 @@ type SparDL struct {
 	team    int // this worker's team, ranks [team·m, (team+1)·m)
 	pos     int // this worker's position inside the team
 	opts    Options
-	variant Variant // resolved SAG variant (meaningful when d > 1)
-	blockK  int     // per-block selection size L(k,d,P) = dk/P = k/m
+	variant Variant        // resolved SAG variant (meaningful when d > 1)
+	blockK  int            // per-block selection size L(k,d,P) = dk/P = k/m
+	tx      wire.Transport // sizes (and in WireEncoded, round-trips) every message
 
 	part       *sparse.Partition // the m gradient blocks
 	bags       [][]int           // bags[j-1] = relative block offsets of sending bag j
@@ -64,6 +66,7 @@ func New(p, rank, n, k int, opts Options) (*SparDL, error) {
 		n: n, k: k, p: p, rank: rank,
 		d: d, m: m, team: rank / m, pos: rank % m,
 		opts: opts, variant: opts.variantFor(d), blockK: blockK,
+		tx:       wire.Transport{Mode: opts.Wire},
 		part:     sparse.NewPartition(n, m),
 		bags:     sendBags(m),
 		residual: make([]float32, n),
@@ -122,6 +125,9 @@ func (s *SparDL) Name() string {
 	}
 	if s.opts.Eager {
 		name += "-eager"
+	}
+	if s.opts.Wire != WireCOO {
+		name += "+" + s.opts.Wire.String()
 	}
 	return name
 }
@@ -185,11 +191,12 @@ func (s *SparDL) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
 	if s.m == 1 {
 		finalChunks = []*sparse.Chunk{reserved}
 	} else {
-		items := collective.BruckAllGather(ep, s.teamRanks, s.pos, reserved, chunkBytes)
+		own := s.tx.PackItem(reserved)
+		items := collective.BruckAllGather(ep, s.teamRanks, s.pos, own, s.tx.ItemBytes)
 		finalChunks = make([]*sparse.Chunk, len(items))
 		total := 0
 		for i, it := range items {
-			finalChunks[i] = it.(*sparse.Chunk)
+			finalChunks[i] = s.tx.Unpack(it)
 			total += finalChunks[i].Len()
 		}
 		sparsecoll.ChargeMerge(ep, total)
@@ -219,21 +226,20 @@ func (s *SparDL) runSRS(ep *simnet.Endpoint, acc []float32, localSel *[]int32) *
 		dist := 1 << (l - i)
 		bag := s.bags[l-i] // bag number l-i+1
 		payload := make([]*sparse.Chunk, 0, len(bag))
-		bytes := 0
 		for _, r := range bag {
 			b := (pos + r) % m
 			lo, hi := s.part.Bounds(b)
 			kept := s.sparsifyDenseBlock(ep, acc, lo, hi, localSel)
 			if kept.Len() > 0 {
 				payload = append(payload, kept)
-				bytes += kept.WireBytes()
 			}
 		}
 		target := s.teamRanks[(pos+dist)%m]
 		source := s.teamRanks[(pos-dist+m)%m]
-		ep.Send(target, payload, bytes)
+		pk, bytes := s.tx.PackSlice(payload)
+		ep.Send(target, pk, bytes)
 		in, _ := ep.Recv(source)
-		for _, c := range in.([]*sparse.Chunk) {
+		for _, c := range s.tx.UnpackSlice(in) {
 			sparsecoll.ChargeMerge(ep, c.Len())
 			c.AddToDense(acc)
 		}
@@ -257,20 +263,19 @@ func (s *SparDL) runSRSEager(ep *simnet.Endpoint, acc []float32, localSel *[]int
 		dist := 1 << (l - i)
 		bag := s.bags[l-i]
 		payload := make([]*sparse.Chunk, 0, len(bag))
-		bytes := 0
 		for _, r := range bag {
 			b := (pos + r) % m
 			if blocks[b].Len() > 0 {
 				payload = append(payload, blocks[b])
-				bytes += blocks[b].WireBytes()
 			}
 			blocks[b] = nil // sent away; no longer held
 		}
 		target := s.teamRanks[(pos+dist)%m]
 		source := s.teamRanks[(pos-dist+m)%m]
-		ep.Send(target, payload, bytes)
+		pk, bytes := s.tx.PackSlice(payload)
+		ep.Send(target, pk, bytes)
 		in, _ := ep.Recv(source)
-		for _, c := range in.([]*sparse.Chunk) {
+		for _, c := range s.tx.UnpackSlice(in) {
 			b := s.part.BlockOf(c.Idx[0])
 			sparsecoll.ChargeMerge(ep, c.Len()+blocks[b].Len())
 			merged := sparse.MergeAdd(blocks[b], c)
@@ -338,5 +343,3 @@ func (s *SparDL) finishResidual(ep *simnet.Endpoint, snapshot []float32, finalCh
 	}
 	sparsecoll.ChargeScan(ep, s.n)
 }
-
-func chunkBytes(it any) int { return it.(*sparse.Chunk).WireBytes() }

@@ -24,7 +24,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12a", "fig12b",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"ablation-lazy", "ablation-sga", "ablation-allgather", "ablation-dense",
-		"ext-hetero", "ext-wire",
+		"ext-hetero", "ext-wire", "ext-wire-e2e",
 	}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {
@@ -123,6 +123,32 @@ func TestQuickExperimentsSmoke(t *testing.T) {
 			if out := tab.Render(); len(out) == 0 {
 				t.Fatalf("%s rendered empty output", id)
 			}
+		}
+	}
+}
+
+// Acceptance check for the negotiated transport: at k/n ≤ 1e-2 SparDL's
+// cluster-wide received volume must be strictly lower than the COO
+// accounting, and the encoded mode must charge the identical byte total.
+func TestWireE2ENegotiatedBeatsCOO(t *testing.T) {
+	// At 1e-3 the per-block chunks need a realistic n: below a handful of
+	// entries per message the 13-byte self-describing header outweighs the
+	// varint savings (the sweep table reports this regime honestly).
+	const p = 14
+	for _, tc := range []struct {
+		n     int
+		ratio float64
+	}{{1 << 15, 1e-2}, {1 << 17, 1e-3}} {
+		n, ratio := tc.n, tc.ratio
+		k := int(ratio * float64(n))
+		_, coo := wireE2EProbe(p, n, k, NamedFactory{"SparDL", sparDL(core.Options{})})
+		_, neg := wireE2EProbe(p, n, k, NamedFactory{"SparDL", sparDL(core.Options{Wire: core.WireNegotiated})})
+		_, enc := wireE2EProbe(p, n, k, NamedFactory{"SparDL", sparDL(core.Options{Wire: core.WireEncoded})})
+		if neg >= coo {
+			t.Fatalf("k/n=%g: negotiated %d not below COO %d", ratio, neg, coo)
+		}
+		if enc != neg {
+			t.Fatalf("k/n=%g: encoded bytes %d != negotiated %d", ratio, enc, neg)
 		}
 	}
 }

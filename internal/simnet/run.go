@@ -40,6 +40,18 @@ func (r *Report) MaxBytesRecv() int64 {
 	return m
 }
 
+// TotalBytesRecv returns the received volume summed over all workers — the
+// cluster-wide wire traffic of the run. Wire-mode experiments compare this
+// figure across transports, since per-worker maxima can hide savings on
+// asymmetric schedules (trees, direct-send reduce-scatter).
+func (r *Report) TotalBytesRecv() int64 {
+	var t int64
+	for _, s := range r.PerWorker {
+		t += s.BytesRecv
+	}
+	return t
+}
+
 // Run executes worker(rank, endpoint) on p goroutines over a fresh fabric
 // and waits for all of them. If any worker panics, the fabric is poisoned
 // (so blocked peers unwind too) and Run re-panics with the first failure.

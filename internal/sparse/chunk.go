@@ -10,6 +10,7 @@ package sparse
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -144,16 +145,53 @@ func MergeAdd(a, b *Chunk) *Chunk {
 	return out
 }
 
-// MergeAddAll merge-adds all chunks. Nil entries are skipped.
+// MergeAddAll merge-adds all chunks with a single k-way merge pass. Nil
+// entries are skipped; inputs are never mutated or aliased by the result.
+// One output allocation and one sweep over the union replace the repeated
+// pairwise merges a naive fold would do (O(total·m) copying).
 func MergeAddAll(chunks []*Chunk) *Chunk {
-	out := &Chunk{}
+	act := make([]*Chunk, 0, len(chunks))
+	total := 0
 	for _, c := range chunks {
-		if c == nil || c.Len() == 0 {
-			continue
+		if c != nil && c.Len() > 0 {
+			act = append(act, c)
+			total += c.Len()
 		}
-		out = MergeAdd(out, c)
 	}
-	return out
+	switch len(act) {
+	case 0:
+		return &Chunk{}
+	case 1:
+		return act[0].Clone()
+	}
+	out := &Chunk{
+		Idx: make([]int32, 0, total),
+		Val: make([]float32, 0, total),
+	}
+	pos := make([]int, len(act))
+	for {
+		// Find the smallest pending index across the cursors; with the
+		// small fan-ins used here (≤P inputs) a linear scan beats a heap.
+		// The int64 sentinel keeps index MaxInt32 itself mergeable.
+		min := int64(math.MaxInt64)
+		for i, c := range act {
+			if pos[i] < len(c.Idx) && int64(c.Idx[pos[i]]) < min {
+				min = int64(c.Idx[pos[i]])
+			}
+		}
+		if min == math.MaxInt64 {
+			return out
+		}
+		var sum float32
+		for i, c := range act {
+			if pos[i] < len(c.Idx) && int64(c.Idx[pos[i]]) == min {
+				sum += c.Val[pos[i]]
+				pos[i]++
+			}
+		}
+		out.Idx = append(out.Idx, int32(min))
+		out.Val = append(out.Val, sum)
+	}
 }
 
 // Concat concatenates chunks that cover pairwise-disjoint, ascending index

@@ -1,6 +1,7 @@
 package sparse
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -75,6 +76,55 @@ func TestMergeAddAll(t *testing.T) {
 		chunkOf(3, -1, 4, 5),
 	})
 	assertChunkEqual(t, got, chunkOf(0, 3, 3, 0, 4, 5))
+}
+
+// The k-way merge's sentinel must not swallow the maximum representable
+// index.
+func TestMergeAddAllMaxInt32Index(t *testing.T) {
+	got := MergeAddAll([]*Chunk{
+		{Idx: []int32{5, math.MaxInt32}, Val: []float32{1, 2}},
+		{Idx: []int32{math.MaxInt32}, Val: []float32{3}},
+	})
+	want := &Chunk{Idx: []int32{5, math.MaxInt32}, Val: []float32{1, 5}}
+	assertChunkEqual(t, got, want)
+}
+
+// Property: the k-way MergeAddAll equals a pairwise MergeAdd fold and
+// never aliases its inputs.
+func TestMergeAddAllMatchesPairwiseFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + rng.Intn(9)
+		chunks := make([]*Chunk, m)
+		for i := range chunks {
+			c := &Chunk{}
+			idx := int32(0)
+			for n := rng.Intn(40); n > 0; n-- {
+				idx += 1 + int32(rng.Intn(20))
+				c.Idx = append(c.Idx, idx)
+				c.Val = append(c.Val, float32(rng.NormFloat64()))
+			}
+			chunks[i] = c
+		}
+		if rng.Intn(2) == 0 {
+			chunks[rng.Intn(m)] = nil
+		}
+		want := &Chunk{}
+		for _, c := range chunks {
+			want = MergeAdd(want, c)
+		}
+		got := MergeAddAll(chunks)
+		assertChunkEqual(t, got, want)
+		// Mutating the result must not corrupt any input.
+		if got.Len() > 0 {
+			got.Val[0] += 1000
+			for _, c := range chunks {
+				if c != nil && c.Len() > 0 && c.Idx[0] == got.Idx[0] && c.Val[0] >= 500 {
+					t.Fatal("MergeAddAll result aliases an input chunk")
+				}
+			}
+		}
+	}
 }
 
 func TestConcat(t *testing.T) {

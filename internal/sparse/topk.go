@@ -9,6 +9,29 @@ package sparse
 // of an R-SAG exchange, or all members of a team after B-SAG), otherwise
 // model replicas diverge.
 
+import "sync"
+
+// scratchPool recycles the quickselect scratch buffers. Selections run once
+// per block per SRS step on every worker, so at paper-like sizes (n=1M,
+// P=14) the per-call make([]float32, n) dominated allocation volume.
+var scratchPool = sync.Pool{New: func() any { return new([]float32) }}
+
+// getScratch returns a length-n scratch slice (contents arbitrary) and the
+// pool token to hand back to putScratch.
+func getScratch(n int) (*[]float32, []float32) {
+	sp := scratchPool.Get().(*[]float32)
+	s := *sp
+	if cap(s) < n {
+		s = make([]float32, n)
+	}
+	return sp, s[:n]
+}
+
+func putScratch(sp *[]float32, s []float32) {
+	*sp = s
+	scratchPool.Put(sp)
+}
+
 // kthLargestAbs returns the k-th largest absolute value in vals (1-based k)
 // using an in-place iterative quickselect with median-of-three pivoting.
 // vals is clobbered. It panics if k is out of range.
@@ -78,9 +101,10 @@ func TopKChunk(c *Chunk, k int) (kept, dropped *Chunk) {
 	if k <= 0 {
 		return &Chunk{}, c.Clone()
 	}
-	scratch := make([]float32, n)
+	sp, scratch := getScratch(n)
 	copy(scratch, c.Val)
 	thr := kthLargestAbs(scratch, k)
+	putScratch(sp, scratch)
 
 	kept = &Chunk{Idx: make([]int32, 0, k), Val: make([]float32, 0, k)}
 	dropped = &Chunk{Idx: make([]int32, 0, n-k), Val: make([]float32, 0, n-k)}
@@ -130,13 +154,15 @@ func TopKDense(dense []float32, lo, hi, k int) *Chunk {
 	if k >= nz {
 		return FromDense(dense, lo, hi)
 	}
-	scratch := make([]float32, 0, nz)
+	sp, scratch := getScratch(nz)
+	scratch = scratch[:0]
 	for i := lo; i < hi; i++ {
 		if dense[i] != 0 {
 			scratch = append(scratch, dense[i])
 		}
 	}
 	thr := kthLargestAbs(scratch, k)
+	putScratch(sp, scratch[:nz])
 	out := &Chunk{Idx: make([]int32, 0, k), Val: make([]float32, 0, k)}
 	strict := 0
 	for i := lo; i < hi; i++ {
@@ -197,14 +223,17 @@ func ThresholdDense(dense []float32, lo, hi int, thr float32) *Chunk {
 // of dense (1-based). It returns 0 when there are fewer than k non-zeros.
 // Ok-Topk uses this to calibrate its pruning threshold.
 func KthLargestAbs(dense []float32, k int) float32 {
-	vals := make([]float32, 0, len(dense))
+	sp, vals := getScratch(len(dense))
+	vals = vals[:0]
 	for _, v := range dense {
 		if v != 0 {
 			vals = append(vals, v)
 		}
 	}
-	if k < 1 || len(vals) < k {
-		return 0
+	var thr float32
+	if k >= 1 && len(vals) >= k {
+		thr = kthLargestAbs(vals, k)
 	}
-	return kthLargestAbs(vals, k)
+	putScratch(sp, vals[:cap(vals)])
+	return thr
 }

@@ -5,6 +5,7 @@ import (
 
 	"spardl/internal/simnet"
 	"spardl/internal/sparse"
+	"spardl/internal/wire"
 )
 
 // GTopk is the global top-k sparse all-reduce of Shi et al. [ICDCS'19]:
@@ -23,6 +24,7 @@ import (
 type GTopk struct {
 	n, k     int
 	residual []float32
+	tx       wire.Transport
 }
 
 // NewGTopk builds the gTopk reducer for one worker. It panics if P is not
@@ -35,7 +37,9 @@ func NewGTopk(p, rank, n, k int) Reducer {
 }
 
 // Name implements Reducer.
-func (g *GTopk) Name() string { return "gTopk" }
+func (g *GTopk) Name() string { return wireName("gTopk", g.tx) }
+
+func (g *GTopk) setWire(tx wire.Transport) { g.tx = tx }
 
 // Reduce implements Reducer.
 func (g *GTopk) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
@@ -51,12 +55,13 @@ func (g *GTopk) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
 	sentAt := 0 // tree level at which this worker went passive (0 = never)
 	for dist := 1; dist < p; dist *= 2 {
 		if me%(2*dist) == dist {
-			ep.Send(me-dist, cur, cur.WireBytes())
+			pk, bytes := g.tx.Pack(cur)
+			ep.Send(me-dist, pk, bytes)
 			sentAt = dist
 			break
 		}
 		in, _ := ep.Recv(me + dist)
-		got := in.(*sparse.Chunk)
+		got := g.tx.Unpack(in)
 		ChargeMerge(ep, got.Len()+cur.Len())
 		merged := sparse.MergeAdd(cur, got)
 		cur, _ = sparse.TopKChunk(merged, g.k)
@@ -70,14 +75,17 @@ func (g *GTopk) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
 		global = cur // rank 0
 	} else {
 		in, _ := ep.Recv(me - sentAt)
-		global = in.(*sparse.Chunk)
+		global = g.tx.Unpack(in)
 	}
 	start := sentAt / 2
 	if sentAt == 0 {
 		start = p / 2
 	}
-	for dist := start; dist >= 1; dist /= 2 {
-		ep.Send(me+dist, global, global.WireBytes())
+	if start >= 1 {
+		gpk, gbytes := g.tx.Pack(global) // pack once, reuse for every child
+		for dist := start; dist >= 1; dist /= 2 {
+			ep.Send(me+dist, gpk, gbytes)
+		}
 	}
 
 	// PRES residual: zero only where our local selection made the global

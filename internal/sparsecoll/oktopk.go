@@ -6,6 +6,7 @@ import (
 	"spardl/internal/collective"
 	"spardl/internal/simnet"
 	"spardl/internal/sparse"
+	"spardl/internal/wire"
 )
 
 // OkTopk re-implements the state-of-the-art sparse all-reduce of Li &
@@ -39,6 +40,7 @@ type OkTopk struct {
 	// when residual feedback piles mass right below the cut.
 	target float64
 	iter   int
+	tx     wire.Transport
 }
 
 // RebalanceEvery matches the original implementation's cadence: local
@@ -67,21 +69,25 @@ func NewOkTopk(p, rank, n, k int) Reducer {
 }
 
 // Name implements Reducer.
-func (o *OkTopk) Name() string { return "OkTopk" }
+func (o *OkTopk) Name() string { return wireName("OkTopk", o.tx) }
+
+func (o *OkTopk) setWire(tx wire.Transport) { o.tx = tx }
 
 // okItem carries a worker's reduced block plus any overflow chunks shifted
-// to it by the balancing step.
+// to it by the balancing step, already transport-packed; bytes is fixed by
+// the owner so every forwarding hop charges the same.
 type okItem struct {
-	chunks []*sparse.Chunk
+	payloads []any
+	bytes    int
 }
 
-func okItemBytes(it any) int {
-	s := 0
-	for _, c := range it.(*okItem).chunks {
-		s += c.WireBytes()
-	}
-	return s
+func (o *OkTopk) packInto(item *okItem, c *sparse.Chunk) {
+	pk, b := o.tx.Pack(c)
+	item.payloads = append(item.payloads, pk)
+	item.bytes += b
 }
+
+func okItemBytes(it any) int { return it.(*okItem).bytes }
 
 // Reduce implements Reducer.
 func (o *OkTopk) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
@@ -111,20 +117,24 @@ func (o *OkTopk) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
 	pieces := o.part.Split(local)
 	for j := 0; j < p; j++ {
 		if j != me {
-			c := pieces[j].Clone()
-			ep.Send(j, c, c.WireBytes())
+			pk, bytes := o.tx.Pack(pieces[j].Clone())
+			ep.Send(j, pk, bytes)
 		}
 	}
-	mine := pieces[me].Clone()
+	got := make([]*sparse.Chunk, 0, p)
+	got = append(got, pieces[me])
+	received := 0
 	for j := 0; j < p; j++ {
 		if j == me {
 			continue
 		}
 		in, _ := ep.Recv(j)
-		c := in.(*sparse.Chunk)
-		ChargeMerge(ep, c.Len())
-		mine = sparse.MergeAdd(mine, c)
+		c := o.tx.Unpack(in)
+		received += c.Len()
+		got = append(got, c)
 	}
+	ChargeMerge(ep, received)
+	mine := sparse.MergeAddAll(got)
 
 	// 3. Prune the merged block with the same threshold. Entries are
 	// dropped as whole sums, so every contributor retains its own share in
@@ -147,25 +157,33 @@ func (o *OkTopk) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
 		mean := total / p
 		limit := 2*mean + 1
 		overflow := func(j int) bool { return counts[j] > limit }
-		item := &okItem{chunks: []*sparse.Chunk{mine}}
+		item := &okItem{}
 		prev := (me + p - 1) % p
 		if overflow(me) {
 			// Keep the `limit` largest entries, ship the rest onward.
 			kept, extra := sparse.TopKChunk(mine, limit)
 			ChargeScan(ep, mine.Len())
-			item.chunks = []*sparse.Chunk{kept}
-			ep.Send((me+1)%p, extra, extra.WireBytes())
+			o.packInto(item, kept)
+			pk, bytes := o.tx.Pack(extra)
+			ep.Send((me+1)%p, pk, bytes)
+		} else {
+			o.packInto(item, mine)
 		}
 		if overflow(prev) {
-			in, _ := ep.Recv(prev)
-			item.chunks = append(item.chunks, in.(*sparse.Chunk))
+			// Forward the received payload as-is: it is already packed and
+			// its charged size is exactly what the sender accounted.
+			in, bytes := ep.Recv(prev)
+			item.payloads = append(item.payloads, in)
+			item.bytes += bytes
 		}
 
 		// 5. All-gather the (re-balanced) blocks.
 		items := collective.BruckAllGather(ep, world, me, item, okItemBytes)
 		var all []*sparse.Chunk
 		for _, it := range items {
-			all = append(all, it.(*okItem).chunks...)
+			for _, pk := range it.(*okItem).payloads {
+				all = append(all, o.tx.Unpack(pk))
+			}
 		}
 		mergedTotal := 0
 		for _, c := range all {

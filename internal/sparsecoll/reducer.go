@@ -7,8 +7,11 @@
 package sparsecoll
 
 import (
+	"fmt"
+
 	"spardl/internal/simnet"
 	"spardl/internal/sparse"
+	"spardl/internal/wire"
 )
 
 // Reducer synchronizes one worker's dense gradient with all peers and
@@ -27,6 +30,37 @@ type Reducer interface {
 // Factory builds a Reducer for one worker of a P-worker cluster that
 // synchronizes length-n gradients, keeping k global entries per iteration.
 type Factory func(p, rank, n, k int) Reducer
+
+// wireConfigurable is implemented by reducers whose message transport can
+// be switched away from the COO accounting baseline.
+type wireConfigurable interface {
+	setWire(tx wire.Transport)
+}
+
+// WireVariant returns a factory that builds the same reducers as base but
+// with every sparse message sized — and, under wire.ModeEncoded, actually
+// round-tripped through the codec — by the given transport mode. It panics
+// if the base reducer has no sparse messages to re-encode (e.g. Dense).
+func WireVariant(base Factory, mode wire.Mode) Factory {
+	return func(p, rank, n, k int) Reducer {
+		r := base(p, rank, n, k)
+		wc, ok := r.(wireConfigurable)
+		if !ok {
+			panic(fmt.Sprintf("sparsecoll: %T does not support wire transport modes", r))
+		}
+		wc.setWire(wire.Transport{Mode: mode})
+		return r
+	}
+}
+
+// wireName appends the non-default transport mode to a reducer name so
+// experiment tables distinguish accounting modes.
+func wireName(name string, tx wire.Transport) string {
+	if tx.Mode == wire.ModeCOO {
+		return name
+	}
+	return name + "+" + tx.Mode.String()
+}
 
 // CompCost models the local-computation virtual time charged while
 // executing a reducer: selections scan elements, merges touch sparse
@@ -75,6 +109,3 @@ func scatterChunks(n int, chunks []*sparse.Chunk) []float32 {
 	}
 	return out
 }
-
-// chunkItemBytes sizes *sparse.Chunk payloads for the generic all-gather.
-func chunkItemBytes(it any) int { return it.(*sparse.Chunk).WireBytes() }

@@ -3,9 +3,11 @@ package sparsecoll
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"spardl/internal/simnet"
+	"spardl/internal/wire"
 )
 
 var unit = simnet.Profile{Name: "unit", Alpha: 1, Beta: 1}
@@ -266,6 +268,54 @@ func TestOkTopkCostModel(t *testing.T) {
 			t.Fatalf("P=%d rounds=%d want ≈2×%d", p, got, perIter)
 		}
 	}
+}
+
+// Every baseline must behave identically — same outputs, same residual
+// dynamics — under the negotiated and encoded transports, with encoded
+// charging exactly the negotiated accounting.
+func TestBaselineWireModes(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Factory
+		p    int
+	}{
+		{"TopkA", NewTopkA, 6},
+		{"TopkDSA", NewTopkDSA, 6},
+		{"gTopk", NewGTopk, 8},
+		{"OkTopk", NewOkTopk, 6},
+	}
+	for _, tc := range cases {
+		const n, k, iters, seed = 24000, 240, 3, 21 // k/n = 1e-2
+		outsCOO, _, repCOO := runMethod(tc.f, tc.p, n, k, iters, seed)
+		neg, _, repNeg := runMethod(WireVariant(tc.f, wire.ModeNegotiated), tc.p, n, k, iters, seed)
+		enc, _, repEnc := runMethod(WireVariant(tc.f, wire.ModeEncoded), tc.p, n, k, iters, seed)
+		assertConsistent(t, neg)
+		assertConsistent(t, enc)
+		for it := range outsCOO {
+			if !reflect.DeepEqual(neg[it][0], outsCOO[it][0]) || !reflect.DeepEqual(enc[it][0], outsCOO[it][0]) {
+				t.Fatalf("%s: wire mode changed the computed gradient at iter %d", tc.name, it)
+			}
+		}
+		if repNeg.MaxBytesRecv() >= repCOO.MaxBytesRecv() {
+			t.Fatalf("%s: negotiated bytes %d not below COO %d",
+				tc.name, repNeg.MaxBytesRecv(), repCOO.MaxBytesRecv())
+		}
+		for w := range repEnc.PerWorker {
+			if repEnc.PerWorker[w].BytesRecv != repNeg.PerWorker[w].BytesRecv {
+				t.Fatalf("%s: encoded bytes %d != negotiated accounting %d at worker %d",
+					tc.name, repEnc.PerWorker[w].BytesRecv, repNeg.PerWorker[w].BytesRecv, w)
+			}
+		}
+	}
+}
+
+func TestWireVariantRejectsDense(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WireVariant must reject reducers without sparse messages")
+		}
+	}()
+	WireVariant(NewDense, wire.ModeNegotiated)(4, 0, 100, 10)
 }
 
 func TestDenseReducer(t *testing.T) {

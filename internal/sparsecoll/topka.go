@@ -4,6 +4,7 @@ import (
 	"spardl/internal/collective"
 	"spardl/internal/simnet"
 	"spardl/internal/sparse"
+	"spardl/internal/wire"
 )
 
 // TopkA is SparCML's sparse all-gather all-reduce [Renggli et al., SC'19]:
@@ -18,6 +19,7 @@ import (
 type TopkA struct {
 	n, k     int
 	residual []float32
+	tx       wire.Transport
 }
 
 // NewTopkA builds the TopkA reducer for one worker.
@@ -26,7 +28,9 @@ func NewTopkA(p, rank, n, k int) Reducer {
 }
 
 // Name implements Reducer.
-func (t *TopkA) Name() string { return "TopkA" }
+func (t *TopkA) Name() string { return wireName("TopkA", t.tx) }
+
+func (t *TopkA) setWire(tx wire.Transport) { t.tx = tx }
 
 // Reduce implements Reducer.
 func (t *TopkA) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
@@ -42,11 +46,12 @@ func (t *TopkA) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
 	}
 
 	p := ep.P()
-	items := collective.BruckAllGather(ep, collective.WorldRanks(p), ep.Rank(), local, chunkItemBytes)
+	own := t.tx.PackItem(local)
+	items := collective.BruckAllGather(ep, collective.WorldRanks(p), ep.Rank(), own, t.tx.ItemBytes)
 	chunks := make([]*sparse.Chunk, len(items))
 	total := 0
 	for i, it := range items {
-		chunks[i] = it.(*sparse.Chunk)
+		chunks[i] = t.tx.Unpack(it)
 		total += chunks[i].Len()
 	}
 	ChargeMerge(ep, total)

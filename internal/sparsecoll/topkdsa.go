@@ -4,6 +4,7 @@ import (
 	"spardl/internal/collective"
 	"spardl/internal/simnet"
 	"spardl/internal/sparse"
+	"spardl/internal/wire"
 )
 
 // TopkDSA is SparCML's split (reduce-scatter + all-gather) sparse
@@ -20,6 +21,7 @@ type TopkDSA struct {
 	n, k     int
 	residual []float32
 	part     *sparse.Partition
+	tx       wire.Transport
 }
 
 // NewTopkDSA builds the TopkDSA reducer for one worker of a P-worker
@@ -29,25 +31,21 @@ func NewTopkDSA(p, rank, n, k int) Reducer {
 }
 
 // Name implements Reducer.
-func (t *TopkDSA) Name() string { return "TopkDSA" }
+func (t *TopkDSA) Name() string { return wireName("TopkDSA", t.tx) }
 
-// dsaBlock is an all-gather item: a reduced block that travels in COO form
-// until the dense encoding of its index range is cheaper (the "switch to
-// dense transmission" of TopkDSA).
+func (t *TopkDSA) setWire(tx wire.Transport) { t.tx = tx }
+
+// dsaBlock is an all-gather item: a reduced block that travels in sparse
+// form until the dense encoding of its index range is cheaper (the "switch
+// to dense transmission" of TopkDSA). bytes is fixed by the block's owner
+// when it enters the all-gather, so every forwarding hop charges the same.
 type dsaBlock struct {
-	block      int
-	chunk      *sparse.Chunk
-	denseBytes int
+	block   int
+	payload any // transport-packed chunk
+	bytes   int // min(sparse encoding, dense encoding of the block range)
 }
 
-func (b *dsaBlock) wireBytes() int {
-	if s := b.chunk.WireBytes(); s < b.denseBytes {
-		return s
-	}
-	return b.denseBytes
-}
-
-func dsaItemBytes(it any) int { return it.(*dsaBlock).wireBytes() }
+func dsaItemBytes(it any) int { return it.(*dsaBlock).bytes }
 
 // Reduce implements Reducer.
 func (t *TopkDSA) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
@@ -66,29 +64,38 @@ func (t *TopkDSA) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
 	pieces := t.part.Split(local)
 	for j := 0; j < p; j++ {
 		if j != me {
-			c := pieces[j].Clone()
-			ep.Send(j, c, c.WireBytes())
+			pk, bytes := t.tx.Pack(pieces[j].Clone())
+			ep.Send(j, pk, bytes)
 		}
 	}
-	mine := pieces[me].Clone()
+	got := make([]*sparse.Chunk, 0, p)
+	got = append(got, pieces[me])
+	total := 0
 	for j := 0; j < p; j++ {
 		if j == me {
 			continue
 		}
 		in, _ := ep.Recv(j)
-		c := in.(*sparse.Chunk)
-		ChargeMerge(ep, c.Len())
-		mine = sparse.MergeAdd(mine, c)
+		c := t.tx.Unpack(in)
+		total += c.Len()
+		got = append(got, c)
 	}
+	ChargeMerge(ep, total)
+	mine := sparse.MergeAddAll(got)
 
 	// All-gather the uneven reduced blocks (SGA allowed; dense switch per
 	// block caps the wire size).
-	own := &dsaBlock{block: me, chunk: mine, denseBytes: collective.DenseBytes(t.part.Size(me))}
+	pk, sparseBytes := t.tx.Pack(mine)
+	bytes := sparseBytes
+	if db := collective.DenseBytes(t.part.Size(me)); db < bytes {
+		bytes = db
+	}
+	own := &dsaBlock{block: me, payload: pk, bytes: bytes}
 	items := collective.BruckAllGather(ep, collective.WorldRanks(p), me, own, dsaItemBytes)
 	chunks := make([]*sparse.Chunk, len(items))
-	total := 0
+	total = 0
 	for i, it := range items {
-		chunks[i] = it.(*dsaBlock).chunk
+		chunks[i] = t.tx.Unpack(it.(*dsaBlock).payload)
 		total += chunks[i].Len()
 	}
 	ChargeMerge(ep, total)

@@ -13,6 +13,11 @@
 // Encode picks the smallest representation and self-describes with a one-
 // byte tag, which is exactly the "switch to dense transmission" trick
 // TopkDSA applies at block granularity (Section I-B), generalized.
+//
+// All three encodings carry the caller's [lo, hi) index range in the
+// header: delta gaps are relative to lo and the bitmap spans exactly
+// [lo, hi), so decoding is self-contained and a decoded message can be
+// attributed to its gradient block without out-of-band context.
 package wire
 
 import (
@@ -47,16 +52,54 @@ func (f Format) String() string {
 }
 
 // header: 1 byte format + 4 bytes entry count + 4 bytes range lo + 4 bytes
-// range hi (bitmap needs the range; the others carry it for symmetry).
+// range hi. Every format carries the caller's [lo, hi): delta needs lo as
+// the base of its gap encoding, bitmap needs the full span, and COO carries
+// it so all three headers stay interchangeable.
 const headerBytes = 13
 
 // COOBytes returns the encoded size of a chunk in COO format.
 func COOBytes(entries int) int { return headerBytes + 8*entries }
 
-// EncodeCOO encodes the chunk as index/value pairs.
-func EncodeCOO(c *sparse.Chunk) []byte {
+// DeltaBytes returns the encoded size of the chunk in delta format with
+// index gaps relative to lo, without materializing the buffer.
+func DeltaBytes(c *sparse.Chunk, lo int32) int {
+	n := headerBytes + 4*c.Len()
+	prev := lo
+	for _, idx := range c.Idx {
+		n += uvarintLen(uint64(idx - prev))
+		prev = idx
+	}
+	return n
+}
+
+// BitmapBytes returns the encoded size of a chunk with the given entry
+// count over a [lo, hi) span of the given width.
+func BitmapBytes(span, entries int) int { return headerBytes + (span+7)/8 + 4*entries }
+
+// uvarintLen is the number of bytes binary.PutUvarint would write.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// Range returns the tightest [lo, hi) interval containing the chunk's
+// indices: [Idx[0], Idx[last]+1), or [0, 0) for an empty chunk.
+func Range(c *sparse.Chunk) (lo, hi int32) {
+	if c.Len() == 0 {
+		return 0, 0
+	}
+	return c.Idx[0], c.Idx[c.Len()-1] + 1
+}
+
+// EncodeCOO encodes the chunk as index/value pairs over [lo, hi).
+func EncodeCOO(c *sparse.Chunk, lo, hi int32) []byte {
+	mustRange(c, lo, hi)
 	buf := make([]byte, COOBytes(c.Len()))
-	writeHeader(buf, FormatCOO, c)
+	writeHeader(buf, FormatCOO, c.Len(), lo, hi)
 	off := headerBytes
 	for i := range c.Idx {
 		binary.LittleEndian.PutUint32(buf[off:], uint32(c.Idx[i]))
@@ -66,11 +109,13 @@ func EncodeCOO(c *sparse.Chunk) []byte {
 	return buf
 }
 
-// EncodeDelta encodes sorted indices as varint gaps plus packed values.
-func EncodeDelta(c *sparse.Chunk) []byte {
+// EncodeDelta encodes sorted indices as varint gaps (relative to lo) plus
+// packed values.
+func EncodeDelta(c *sparse.Chunk, lo, hi int32) []byte {
+	mustRange(c, lo, hi)
 	buf := make([]byte, headerBytes, headerBytes+5*c.Len()+4*c.Len())
-	writeHeaderSlice(&buf, FormatDelta, c)
-	prev := int32(0)
+	writeHeader(buf, FormatDelta, c.Len(), lo, hi)
+	prev := lo
 	var tmp [binary.MaxVarintLen32]byte
 	for _, idx := range c.Idx {
 		n := binary.PutUvarint(tmp[:], uint64(idx-prev))
@@ -87,14 +132,10 @@ func EncodeDelta(c *sparse.Chunk) []byte {
 
 // EncodeBitmap encodes presence bits over [lo, hi) plus packed values.
 func EncodeBitmap(c *sparse.Chunk, lo, hi int32) []byte {
-	if err := checkRange(c, lo, hi); err != nil {
-		panic(err)
-	}
+	mustRange(c, lo, hi)
 	span := int(hi - lo)
-	buf := make([]byte, headerBytes+(span+7)/8+4*c.Len())
-	writeHeader(buf, FormatBitmap, c)
-	binary.LittleEndian.PutUint32(buf[5:], uint32(lo))
-	binary.LittleEndian.PutUint32(buf[9:], uint32(hi))
+	buf := make([]byte, BitmapBytes(span, c.Len()))
+	writeHeader(buf, FormatBitmap, c.Len(), lo, hi)
 	bits := buf[headerBytes : headerBytes+(span+7)/8]
 	off := headerBytes + (span+7)/8
 	for i, idx := range c.Idx {
@@ -105,24 +146,33 @@ func EncodeBitmap(c *sparse.Chunk, lo, hi int32) []byte {
 	return buf
 }
 
+// EncodedBytes returns the size and format Encode would pick for a chunk
+// over [lo, hi), without allocating any buffer. Preference on size ties is
+// delta, then COO, then bitmap, matching Encode exactly.
+func EncodedBytes(c *sparse.Chunk, lo, hi int32) (int, Format) {
+	mustRange(c, lo, hi)
+	best, fmtBest := DeltaBytes(c, lo), FormatDelta
+	if s := COOBytes(c.Len()); s < best {
+		best, fmtBest = s, FormatCOO
+	}
+	if s := BitmapBytes(int(hi-lo), c.Len()); s < best {
+		best, fmtBest = s, FormatBitmap
+	}
+	return best, fmtBest
+}
+
 // Encode picks the smallest of the three encodings for a chunk whose
 // indices lie in [lo, hi) and returns the buffer and chosen format.
 func Encode(c *sparse.Chunk, lo, hi int32) ([]byte, Format) {
-	if err := checkRange(c, lo, hi); err != nil {
-		panic(err)
+	_, format := EncodedBytes(c, lo, hi)
+	switch format {
+	case FormatCOO:
+		return EncodeCOO(c, lo, hi), format
+	case FormatBitmap:
+		return EncodeBitmap(c, lo, hi), format
+	default:
+		return EncodeDelta(c, lo, hi), format
 	}
-	span := int(hi - lo)
-	cooSize := COOBytes(c.Len())
-	bitmapSize := headerBytes + (span+7)/8 + 4*c.Len()
-	delta := EncodeDelta(c)
-	best, fmtBest := delta, FormatDelta
-	if cooSize < len(best) {
-		best, fmtBest = EncodeCOO(c), FormatCOO
-	}
-	if bitmapSize < len(best) {
-		best, fmtBest = EncodeBitmap(c, lo, hi), FormatBitmap
-	}
-	return best, fmtBest
 }
 
 // Decode reverses any of the three encodings.
@@ -131,14 +181,22 @@ func Decode(buf []byte) (*sparse.Chunk, error) {
 		return nil, fmt.Errorf("wire: truncated header (%d bytes)", len(buf))
 	}
 	format := Format(buf[0])
-	count := int(binary.LittleEndian.Uint32(buf[1:]))
+	count := int(int32(binary.LittleEndian.Uint32(buf[1:])))
 	lo := int32(binary.LittleEndian.Uint32(buf[5:]))
 	hi := int32(binary.LittleEndian.Uint32(buf[9:]))
+	body := buf[headerBytes:]
+	// Every format stores at least 4 value bytes per entry, so a count that
+	// cannot fit in the body is corrupt; reject it before allocating.
+	if count < 0 || 4*count > len(body) {
+		return nil, fmt.Errorf("wire: entry count %d impossible for %d body bytes", count, len(body))
+	}
+	if lo < 0 || hi < lo {
+		return nil, fmt.Errorf("wire: invalid range [%d, %d)", lo, hi)
+	}
 	c := &sparse.Chunk{
 		Idx: make([]int32, 0, count),
 		Val: make([]float32, 0, count),
 	}
-	body := buf[headerBytes:]
 	switch format {
 	case FormatCOO:
 		if len(body) != 8*count {
@@ -149,22 +207,35 @@ func Decode(buf []byte) (*sparse.Chunk, error) {
 			c.Val = append(c.Val, math.Float32frombits(binary.LittleEndian.Uint32(body[8*i+4:])))
 		}
 	case FormatDelta:
-		prev := int32(0)
+		// The packed-values region is exactly the trailing 4·count bytes;
+		// the varint index region must end precisely at its boundary, so a
+		// corrupt entry count can never consume value bytes as varints.
+		valOff := len(body) - 4*count
+		idxRegion := body[:valOff]
+		prev := int64(lo)
 		off := 0
 		for i := 0; i < count; i++ {
-			gap, n := binary.Uvarint(body[off:])
+			gap, n := binary.Uvarint(idxRegion[off:])
 			if n <= 0 {
 				return nil, fmt.Errorf("wire: bad varint at entry %d", i)
 			}
 			off += n
-			prev += int32(gap)
-			c.Idx = append(c.Idx, prev)
+			// Bound the gap before accumulating: a huge varint could wrap
+			// the accumulator and truncate to a fabricated in-range index.
+			if gap > uint64(hi-lo) {
+				return nil, fmt.Errorf("wire: delta gap %d exceeds range width %d", gap, hi-lo)
+			}
+			prev += int64(gap)
+			if prev >= int64(hi) {
+				return nil, fmt.Errorf("wire: delta index %d outside range [%d, %d)", prev, lo, hi)
+			}
+			c.Idx = append(c.Idx, int32(prev))
 		}
-		if len(body)-off != 4*count {
-			return nil, fmt.Errorf("wire: delta values %d bytes, want %d", len(body)-off, 4*count)
+		if off != len(idxRegion) {
+			return nil, fmt.Errorf("wire: %d stray bytes between delta indices and values", len(idxRegion)-off)
 		}
 		for i := 0; i < count; i++ {
-			c.Val = append(c.Val, math.Float32frombits(binary.LittleEndian.Uint32(body[off+4*i:])))
+			c.Val = append(c.Val, math.Float32frombits(binary.LittleEndian.Uint32(body[valOff+4*i:])))
 		}
 	case FormatBitmap:
 		span := int(hi - lo)
@@ -176,6 +247,9 @@ func Decode(buf []byte) (*sparse.Chunk, error) {
 		seen := 0
 		for rel := 0; rel < span; rel++ {
 			if bits[rel/8]&(1<<(rel%8)) != 0 {
+				if seen == count {
+					return nil, fmt.Errorf("wire: bitmap contains more than %d bits", count)
+				}
 				c.Idx = append(c.Idx, lo+int32(rel))
 				c.Val = append(c.Val, math.Float32frombits(binary.LittleEndian.Uint32(body[nb+4*seen:])))
 				seen++
@@ -190,29 +264,23 @@ func Decode(buf []byte) (*sparse.Chunk, error) {
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("wire: decoded invalid chunk: %w", err)
 	}
+	if err := checkRange(c, lo, hi); err != nil {
+		return nil, fmt.Errorf("wire: decoded chunk breaks its header range: %w", err)
+	}
 	return c, nil
 }
 
-func writeHeader(buf []byte, f Format, c *sparse.Chunk) {
+func writeHeader(buf []byte, f Format, count int, lo, hi int32) {
 	buf[0] = byte(f)
-	binary.LittleEndian.PutUint32(buf[1:], uint32(c.Len()))
-	lo, hi := chunkRange(c)
+	binary.LittleEndian.PutUint32(buf[1:], uint32(count))
 	binary.LittleEndian.PutUint32(buf[5:], uint32(lo))
 	binary.LittleEndian.PutUint32(buf[9:], uint32(hi))
 }
 
-func writeHeaderSlice(buf *[]byte, f Format, c *sparse.Chunk) {
-	writeHeader(*buf, f, c)
-}
-
-func chunkRange(c *sparse.Chunk) (lo, hi int32) {
-	if c.Len() == 0 {
-		return 0, 0
-	}
-	return c.Idx[0], c.Idx[c.Len()-1] + 1
-}
-
 func checkRange(c *sparse.Chunk, lo, hi int32) error {
+	if lo < 0 || hi < lo {
+		return fmt.Errorf("wire: invalid range [%d,%d)", lo, hi)
+	}
 	if c.Len() == 0 {
 		return nil
 	}
@@ -221,4 +289,12 @@ func checkRange(c *sparse.Chunk, lo, hi int32) error {
 			c.Idx[0], c.Idx[c.Len()-1], lo, hi)
 	}
 	return nil
+}
+
+// mustRange panics on indices outside [lo, hi): encoding out of range is an
+// algorithm bug, not a recoverable condition.
+func mustRange(c *sparse.Chunk, lo, hi int32) {
+	if err := checkRange(c, lo, hi); err != nil {
+		panic(err)
+	}
 }

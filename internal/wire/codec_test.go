@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -32,8 +33,8 @@ func TestRoundTripAllFormats(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	c := randomChunk(rng, 200, 1000)
 	for name, enc := range map[string][]byte{
-		"coo":    EncodeCOO(c),
-		"delta":  EncodeDelta(c),
+		"coo":    EncodeCOO(c, 0, 1000),
+		"delta":  EncodeDelta(c, 0, 1000),
 		"bitmap": EncodeBitmap(c, 0, 1000),
 	} {
 		got, err := Decode(enc)
@@ -76,9 +77,33 @@ func TestDeltaBeatsCOOOnClusteredIndices(t *testing.T) {
 		val[i] = 1
 	}
 	c := &sparse.Chunk{Idx: idx, Val: val}
-	if len(EncodeDelta(c)) >= COOBytes(c.Len()) {
+	if len(EncodeDelta(c, 0, 2000)) >= COOBytes(c.Len()) {
 		t.Fatalf("delta (%d) should beat COO (%d) on consecutive indices",
-			len(EncodeDelta(c)), COOBytes(c.Len()))
+			len(EncodeDelta(c, 0, 2000)), COOBytes(c.Len()))
+	}
+}
+
+// All three headers must carry the caller's [lo, hi), not the chunk's own
+// tight range, so a decoded message can be attributed to its block.
+func TestHeadersCarryCallerRange(t *testing.T) {
+	c := &sparse.Chunk{Idx: []int32{120, 130, 199}, Val: []float32{1, 2, 3}}
+	const lo, hi = 100, 300
+	for name, enc := range map[string][]byte{
+		"coo":    EncodeCOO(c, lo, hi),
+		"delta":  EncodeDelta(c, lo, hi),
+		"bitmap": EncodeBitmap(c, lo, hi),
+	} {
+		if gotLo := int32(uint32(enc[5]) | uint32(enc[6])<<8 | uint32(enc[7])<<16 | uint32(enc[8])<<24); gotLo != lo {
+			t.Fatalf("%s: header lo = %d, want %d", name, gotLo, lo)
+		}
+		if gotHi := int32(uint32(enc[9]) | uint32(enc[10])<<8 | uint32(enc[11])<<16 | uint32(enc[12])<<24); gotHi != hi {
+			t.Fatalf("%s: header hi = %d, want %d", name, gotHi, hi)
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		assertEqual(t, got, c)
 	}
 }
 
@@ -89,14 +114,54 @@ func TestDecodeErrors(t *testing.T) {
 	if _, err := Decode(make([]byte, 5)); err == nil {
 		t.Fatal("short buffer accepted")
 	}
-	bad := EncodeCOO(&sparse.Chunk{Idx: []int32{1}, Val: []float32{2}})
+	bad := EncodeCOO(&sparse.Chunk{Idx: []int32{1}, Val: []float32{2}}, 0, 10)
 	bad[0] = 99
 	if _, err := Decode(bad); err == nil {
 		t.Fatal("unknown format accepted")
 	}
-	trunc := EncodeCOO(&sparse.Chunk{Idx: []int32{1, 2}, Val: []float32{3, 4}})
+	trunc := EncodeCOO(&sparse.Chunk{Idx: []int32{1, 2}, Val: []float32{3, 4}}, 0, 10)
 	if _, err := Decode(trunc[:len(trunc)-3]); err == nil {
 		t.Fatal("truncated body accepted")
+	}
+}
+
+// The delta decoder must stop parsing varints exactly at the boundary of
+// the packed-values region: a corrupted (short) entry count must fail
+// loudly instead of silently consuming value bytes as varints.
+func TestDeltaIndexValueBoundary(t *testing.T) {
+	c := &sparse.Chunk{Idx: []int32{3, 7, 20, 21}, Val: []float32{1, 2, 3, 4}}
+	enc := EncodeDelta(c, 0, 64)
+	// Shrink the header count from 4 to 3: the fourth gap varint now sits
+	// in front of the (re-interpreted) value region.
+	enc[1] = 3
+	if _, err := Decode(enc); err == nil {
+		t.Fatal("short entry count silently consumed value bytes")
+	}
+	// Grow the count to 5: the varint region runs out.
+	enc[1] = 5
+	if _, err := Decode(enc); err == nil {
+		t.Fatal("long entry count accepted")
+	}
+	// Absurd count must be rejected before any allocation.
+	enc[1], enc[2], enc[3], enc[4] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := Decode(enc); err == nil {
+		t.Fatal("absurd entry count accepted")
+	}
+}
+
+// A huge varint gap must be rejected before accumulation: int64 wrap-around
+// followed by int32 truncation would otherwise fabricate in-range indices
+// from bytes no encoder produces.
+func TestDeltaRejectsWrappingGap(t *testing.T) {
+	buf := make([]byte, headerBytes)
+	writeHeader(buf, FormatDelta, 2, 0, 100)
+	var tmp [10]byte
+	n := binary.PutUvarint(tmp[:], 1<<63+7)
+	buf = append(buf, tmp[:n]...)
+	buf = append(buf, 1)                  // second gap
+	buf = append(buf, make([]byte, 8)...) // two packed values
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("wrapping delta gap accepted")
 	}
 }
 
@@ -137,12 +202,61 @@ func TestEncodeProperty(t *testing.T) {
 	}
 }
 
+// Property: every format round-trips every chunk shape — empty, single
+// entry, dense span, random — and Encode really picks the smallest of the
+// three materialized buffers (with EncodedBytes agreeing exactly).
+func TestAllFormatsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := []*sparse.Chunk{
+		{},                                       // empty
+		{Idx: []int32{17}, Val: []float32{-3.5}}, // single entry
+		{Idx: []int32{0, 1, 2, 3, 4, 5, 6, 7}, Val: make([]float32, 8)},          // dense span at 0
+		{Idx: []int32{90, 91, 92, 93, 94, 95}, Val: []float32{1, 2, 3, 4, 5, 6}}, // dense span offset
+	}
+	for trial := 0; trial < 60; trial++ {
+		shapes = append(shapes, randomChunk(rng, 1+rng.Intn(200), 50+rng.Intn(4000)))
+	}
+	for i, c := range shapes {
+		lo, hi := Range(c)
+		// Also exercise a caller range wider than the tight one.
+		if i%2 == 1 {
+			lo, hi = 0, hi+int32(rng.Intn(100))
+		}
+		encs := map[Format][]byte{
+			FormatCOO:    EncodeCOO(c, lo, hi),
+			FormatDelta:  EncodeDelta(c, lo, hi),
+			FormatBitmap: EncodeBitmap(c, lo, hi),
+		}
+		smallest := -1
+		for f, enc := range encs {
+			got, err := Decode(enc)
+			if err != nil {
+				t.Fatalf("shape %d %v: %v", i, f, err)
+			}
+			assertEqual(t, got, c)
+			if smallest < 0 || len(enc) < smallest {
+				smallest = len(enc)
+			}
+		}
+		buf, f := Encode(c, lo, hi)
+		if len(buf) != smallest {
+			t.Fatalf("shape %d: Encode picked %v (%d bytes), smallest is %d", i, f, len(buf), smallest)
+		}
+		if sz, szf := EncodedBytes(c, lo, hi); sz != len(buf) || szf != f {
+			t.Fatalf("shape %d: EncodedBytes (%d, %v) disagrees with Encode (%d, %v)", i, sz, szf, len(buf), f)
+		}
+		if len(encs[FormatDelta]) != DeltaBytes(c, lo) {
+			t.Fatalf("shape %d: DeltaBytes %d != materialized %d", i, DeltaBytes(c, lo), len(encs[FormatDelta]))
+		}
+	}
+}
+
 func BenchmarkEncodeDecodeDelta(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	c := randomChunk(rng, 10000, 1<<20)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		buf := EncodeDelta(c)
+		buf := EncodeDelta(c, 0, 1<<20)
 		if _, err := Decode(buf); err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,46 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"spardl/internal/sparse"
+)
+
+// FuzzDecode checks that Decode never panics, never returns an invalid
+// chunk, and that anything it accepts re-encodes to a buffer Decode accepts
+// again with identical content (decode/encode/decode fixpoint).
+func FuzzDecode(f *testing.F) {
+	c := &sparse.Chunk{Idx: []int32{2, 5, 9, 100}, Val: []float32{1, -2, 3.5, 0.25}}
+	f.Add(EncodeCOO(c, 0, 128))
+	f.Add(EncodeDelta(c, 0, 128))
+	f.Add(EncodeBitmap(c, 0, 128))
+	empty := &sparse.Chunk{}
+	f.Add(EncodeDelta(empty, 0, 0))
+	f.Add([]byte{byte(FormatDelta), 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0x80}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if verr := got.Validate(); verr != nil {
+			t.Fatalf("Decode accepted an invalid chunk: %v", verr)
+		}
+		lo, hi := Range(got)
+		re, _ := Encode(got, lo, hi)
+		back, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encode of accepted chunk failed to decode: %v", err)
+		}
+		if back.Len() != got.Len() {
+			t.Fatalf("re-encode changed length: %d != %d", back.Len(), got.Len())
+		}
+		for i := range back.Idx {
+			if back.Idx[i] != got.Idx[i] {
+				t.Fatalf("re-encode changed index %d", i)
+			}
+		}
+	})
+}

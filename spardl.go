@@ -59,6 +59,27 @@ const (
 	BSAG = core.BSAG
 )
 
+// WireMode selects the transport representation — and therefore the α-β
+// byte accounting — of every sparse message (Options.Wire).
+type WireMode = core.WireMode
+
+// Wire transport modes.
+const (
+	// WireCOO is the paper's accounting baseline: 8 bytes per entry.
+	WireCOO = core.WireCOO
+	// WireNegotiated charges the smallest self-describing encoding
+	// (COO / delta-varint / bitmap) per message.
+	WireNegotiated = core.WireNegotiated
+	// WireEncoded actually encodes/decodes every message (byte-accurate
+	// realism mode; sizes equal WireNegotiated).
+	WireEncoded = core.WireEncoded
+)
+
+// WireVariant wraps a baseline factory so its sparse messages are sized —
+// and under WireEncoded, round-tripped through the codec — by the given
+// wire mode. SparDL itself is configured via Options.Wire instead.
+func WireVariant(f Factory, mode WireMode) Factory { return sparsecoll.WireVariant(f, mode) }
+
 // New builds a SparDL reducer for one worker of a P-worker cluster
 // synchronizing length-n gradients with global selection size k.
 func New(p, rank, n, k int, opts Options) (*SparDL, error) {
