@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -24,7 +25,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12a", "fig12b",
 		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
 		"ablation-lazy", "ablation-sga", "ablation-allgather", "ablation-dense",
-		"ext-hetero", "ext-wire", "ext-wire-e2e",
+		"ext-hetero", "ext-pipeline", "ext-wire", "ext-wire-e2e",
 	}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {
@@ -150,6 +151,52 @@ func TestWireE2ENegotiatedBeatsCOO(t *testing.T) {
 		if enc != neg {
 			t.Fatalf("k/n=%g: encoded bytes %d != negotiated %d", ratio, enc, neg)
 		}
+	}
+}
+
+// Acceptance check for the bucketed pipeline extension: on Ethernet at
+// k/n=1e-2 the per-layer schedule must report at least 25% less exposed
+// communication than the monolithic baseline.
+func TestPipelineExperimentCutsExposedComm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline experiment")
+	}
+	e, err := ByID("ext-pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := e.Run(Quick)
+	if len(tables) != 4 {
+		t.Fatalf("want 4 tables (2 networks × 2 ratios), got %d", len(tables))
+	}
+	checked := false
+	for _, tab := range tables {
+		if !strings.Contains(tab.Title, "Ethernet") || !strings.Contains(tab.Title, "1e-02") {
+			continue
+		}
+		var mono, perLayer float64
+		for _, row := range tab.Rows {
+			var exposed float64
+			if _, err := fmt.Sscanf(row[3], "%g", &exposed); err != nil {
+				t.Fatalf("bad exposed cell %q: %v", row[3], err)
+			}
+			switch row[0] {
+			case "monolithic":
+				mono = exposed
+			case "per-layer":
+				perLayer = exposed
+			}
+		}
+		if mono <= 0 || perLayer <= 0 {
+			t.Fatalf("missing schedules in table %q", tab.Title)
+		}
+		if perLayer > 0.75*mono {
+			t.Fatalf("per-layer exposed %.6f not ≥25%% below monolithic %.6f", perLayer, mono)
+		}
+		checked = true
+	}
+	if !checked {
+		t.Fatal("Ethernet k/n=1e-2 table not found")
 	}
 }
 

@@ -1,0 +1,84 @@
+package nn
+
+// Per-parameter views of the flattened gradient and the backward-pass
+// timing profile. The bucketed gradient pipeline consumes gradients
+// tensor-by-tensor, in the order backpropagation produces them, instead of
+// waiting for one monolithic FlattenGrads — this file provides both the
+// slicing (GradSegments) and the virtual-time model of *when* each
+// tensor's gradient becomes available (GradReadyTimes).
+
+// Segment is one parameter tensor's slice [Lo, Hi) of the flattened
+// gradient vector, in Params() order.
+type Segment struct {
+	Param  *Tensor
+	Lo, Hi int
+}
+
+// Len returns the number of gradient values in the segment.
+func (s Segment) Len() int { return s.Hi - s.Lo }
+
+// CopyGrad copies the segment's gradient into flat[Lo:Hi). flat must have
+// length ParamCount(params); only this segment's range is written, so a
+// bucket scheduler can materialize exactly the tensors whose backward
+// slices have finished.
+func (s Segment) CopyGrad(flat []float32) {
+	copy(flat[s.Lo:s.Hi], s.Param.Grad)
+}
+
+// GradSegments returns the per-parameter segmentation of the flattened
+// gradient: segment i covers params[i] and the segments are contiguous,
+// with the last one ending at ParamCount(params).
+func GradSegments(params []*Tensor) []Segment {
+	segs := make([]Segment, len(params))
+	off := 0
+	for i, p := range params {
+		segs[i] = Segment{Param: p, Lo: off, Hi: off + p.Len()}
+		off += p.Len()
+	}
+	return segs
+}
+
+// BackwardFrac is the fraction of one iteration's simulated compute time
+// attributed to the backward pass. The conventional estimate for dense
+// layers is backward ≈ 2× forward (one matmul forward, two backward), so
+// two thirds of the iteration is backward — the window available for
+// overlapping communication with computation.
+const BackwardFrac = 2.0 / 3.0
+
+// BackwardProfile returns, per parameter, the fraction of the iteration's
+// total compute time attributable to that tensor's backward work. Fractions
+// are proportional to parameter size (dense-layer backward FLOPs scale with
+// the weight count) and sum to BackwardFrac; the remaining 1−BackwardFrac
+// is the forward pass.
+func BackwardProfile(params []*Tensor) []float64 {
+	total := float64(ParamCount(params))
+	fracs := make([]float64, len(params))
+	if total == 0 {
+		return fracs
+	}
+	for i, p := range params {
+		fracs[i] = BackwardFrac * float64(p.Len()) / total
+	}
+	return fracs
+}
+
+// GradReadyTimes returns, per parameter, the virtual time (seconds from
+// iteration start) at which that tensor's gradient is complete, for an
+// iteration whose forward+backward together cost computeTime. Backward
+// visits tensors back-to-front, so the *last* parameter's gradient is ready
+// first, right after the forward pass, and the first parameter's gradient
+// is ready exactly at computeTime (ready[0] == computeTime holds exactly,
+// so a single bucket spanning the whole model reproduces the monolithic
+// schedule bit-for-bit).
+func GradReadyTimes(params []*Tensor, computeTime float64) []float64 {
+	fracs := BackwardProfile(params)
+	ready := make([]float64, len(params))
+	// ready[i] = computeTime − (backward work of the tensors in front of i,
+	// which backprop has not reached yet when i's gradient completes).
+	ahead := 0.0
+	for i := range params {
+		ready[i] = computeTime - ahead*computeTime
+		ahead += fracs[i]
+	}
+	return ready
+}

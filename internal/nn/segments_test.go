@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func segModel() []*Tensor {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLPClassifier(rng, []int{8, 16, 4})
+	return m.Params()
+}
+
+func TestGradSegmentsCoverFlatVector(t *testing.T) {
+	params := segModel()
+	segs := GradSegments(params)
+	if len(segs) != len(params) {
+		t.Fatalf("got %d segments for %d params", len(segs), len(params))
+	}
+	off := 0
+	for i, s := range segs {
+		if s.Lo != off || s.Len() != params[i].Len() || s.Param != params[i] {
+			t.Fatalf("segment %d = %+v, want contiguous cover at %d", i, s, off)
+		}
+		off = s.Hi
+	}
+	if off != ParamCount(params) {
+		t.Fatalf("segments end at %d, want %d", off, ParamCount(params))
+	}
+}
+
+func TestSegmentCopyGradMatchesFlatten(t *testing.T) {
+	params := segModel()
+	for pi, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] = float32(pi*1000 + i)
+		}
+	}
+	n := ParamCount(params)
+	want := make([]float32, n)
+	FlattenGrads(params, want)
+
+	got := make([]float32, n)
+	for _, s := range GradSegments(params) {
+		s.CopyGrad(got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("segment copy differs from FlattenGrads at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBackwardProfileSumsToBackwardFrac(t *testing.T) {
+	params := segModel()
+	fracs := BackwardProfile(params)
+	sum := 0.0
+	for i, f := range fracs {
+		if f <= 0 {
+			t.Fatalf("fraction %d not positive: %g", i, f)
+		}
+		sum += f
+	}
+	if math.Abs(sum-BackwardFrac) > 1e-12 {
+		t.Fatalf("fractions sum to %g, want %g", sum, BackwardFrac)
+	}
+}
+
+func TestGradReadyTimesBackToFront(t *testing.T) {
+	params := segModel()
+	const ct = 0.05
+	ready := GradReadyTimes(params, ct)
+	// The first tensor finishes exactly at computeTime — bit-for-bit, since
+	// the single-bucket pipeline relies on it.
+	if ready[0] != ct {
+		t.Fatalf("ready[0] = %g, want exactly %g", ready[0], ct)
+	}
+	for i := 1; i < len(ready); i++ {
+		if !(ready[i] < ready[i-1]) {
+			t.Fatalf("ready times not strictly decreasing back-to-front: %v", ready)
+		}
+	}
+	// The last tensor becomes ready right after the forward pass plus its
+	// own backward slice.
+	forward := (1 - BackwardFrac) * ct
+	last := ready[len(ready)-1]
+	if last <= forward || last >= ct {
+		t.Fatalf("last ready %g outside (forward %g, computeTime %g)", last, forward, ct)
+	}
+}

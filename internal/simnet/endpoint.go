@@ -14,6 +14,16 @@ type Stats struct {
 	// than the clock advance when a worker idles waiting for a peer.
 	CommTime float64
 	CompTime float64
+	// ExposedComm and OverlapSaved account for the communication stream
+	// (Overlap/Join): at each Join, the part of the stream's busy time that
+	// outlived the main clock is exposed — it delays the worker exactly as
+	// serialized communication would — while the remainder ran hidden under
+	// computation. OverlapSaved is therefore exactly the clock time a
+	// serialized execution of the same operations (main-clock advance plus
+	// the stream's busy time, back to back) would have added:
+	// serialized − pipelined ≡ OverlapSaved at every Join.
+	ExposedComm  float64
+	OverlapSaved float64
 }
 
 // Endpoint is worker rank's handle on the fabric. It carries the worker's
@@ -24,6 +34,13 @@ type Endpoint struct {
 	rank   int
 	clock  float64
 	stats  Stats
+
+	// Communication-stream state (Overlap/Join). commClock is the stream's
+	// own virtual clock; commBusy is its accumulated busy time since the
+	// last Join; overlapping guards against nesting.
+	commClock   float64
+	commBusy    float64
+	overlapping bool
 }
 
 // Rank returns this worker's rank in [0, P).
@@ -95,6 +112,58 @@ func (e *Endpoint) Recv(from int) (payload any, bytes int) {
 func (e *Endpoint) SendRecv(peer int, payload any, bytes int) (got any, gotBytes int) {
 	e.Send(peer, payload, bytes)
 	return e.Recv(peer)
+}
+
+// Overlap runs comm on the worker's communication stream: every charge
+// inside comm — Recv's α-β costs, Compute calls from selection and merging —
+// advances a separate comm clock instead of the main clock, so subsequent
+// Compute on the main clock models computation proceeding concurrently with
+// the communication. The stream cannot start before the moment it is
+// launched (its clock is first lifted to the main clock) and operations on
+// it are otherwise identical: sends stamp the comm clock, receives wait for
+// the sender's stamp. Overlap calls may not nest; all workers must issue
+// their Overlap bodies in the same relative order, exactly as they would
+// order blocking collectives.
+func (e *Endpoint) Overlap(comm func(*Endpoint)) {
+	if e.overlapping {
+		panic("simnet: Overlap calls cannot nest")
+	}
+	if e.commClock < e.clock {
+		e.commClock = e.clock // the stream starts no earlier than its launch
+	}
+	main := e.clock
+	start := e.commClock
+	e.clock = e.commClock
+	e.overlapping = true
+	defer func() {
+		e.overlapping = false
+		e.commClock = e.clock
+		e.commBusy += e.clock - start
+		e.clock = main
+	}()
+	comm(e)
+}
+
+// Join merges the communication stream back into the main clock and books
+// the overlap accounting: the stream time that outlived the main clock is
+// exposed communication (it delays the worker), the rest was hidden under
+// computation and is credited to OverlapSaved. After Join the two clocks
+// coincide; the trainer calls it once per iteration, before SyncClock.
+// Join outside any Overlap session is a no-op, so serial schedules can
+// share the pipelined code path.
+func (e *Endpoint) Join() {
+	if e.overlapping {
+		panic("simnet: Join inside Overlap")
+	}
+	exposed := 0.0
+	if e.commClock > e.clock {
+		exposed = e.commClock - e.clock
+		e.clock = e.commClock
+	}
+	e.stats.ExposedComm += exposed
+	e.stats.OverlapSaved += e.commBusy - exposed
+	e.commClock = e.clock
+	e.commBusy = 0
 }
 
 // SyncClock exchanges clock values with all workers and sets every clock to

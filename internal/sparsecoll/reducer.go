@@ -7,8 +7,6 @@
 package sparsecoll
 
 import (
-	"fmt"
-
 	"spardl/internal/simnet"
 	"spardl/internal/sparse"
 	"spardl/internal/wire"
@@ -39,16 +37,16 @@ type wireConfigurable interface {
 
 // WireVariant returns a factory that builds the same reducers as base but
 // with every sparse message sized — and, under wire.ModeEncoded, actually
-// round-tripped through the codec — by the given transport mode. It panics
-// if the base reducer has no sparse messages to re-encode (e.g. Dense).
+// round-tripped through the codec — by the given transport mode. Reducers
+// without sparse messages (e.g. Dense) are returned unchanged: their wire
+// volume is already exact, so the mode has nothing to re-encode and mixed
+// method lists can be wrapped uniformly.
 func WireVariant(base Factory, mode wire.Mode) Factory {
 	return func(p, rank, n, k int) Reducer {
 		r := base(p, rank, n, k)
-		wc, ok := r.(wireConfigurable)
-		if !ok {
-			panic(fmt.Sprintf("sparsecoll: %T does not support wire transport modes", r))
+		if wc, ok := r.(wireConfigurable); ok {
+			wc.setWire(wire.Transport{Mode: mode})
 		}
-		wc.setWire(wire.Transport{Mode: mode})
 		return r
 	}
 }

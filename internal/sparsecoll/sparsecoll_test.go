@@ -309,15 +309,6 @@ func TestBaselineWireModes(t *testing.T) {
 	}
 }
 
-func TestWireVariantRejectsDense(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("WireVariant must reject reducers without sparse messages")
-		}
-	}()
-	WireVariant(NewDense, wire.ModeNegotiated)(4, 0, 100, 10)
-}
-
 func TestDenseReducer(t *testing.T) {
 	for _, p := range []int{4, 6} {
 		const n = 500

@@ -5,6 +5,7 @@ import (
 
 	"spardl/internal/data"
 	"spardl/internal/nn"
+	"spardl/internal/pipeline"
 	"spardl/internal/simnet"
 	"spardl/internal/sparsecoll"
 )
@@ -36,6 +37,14 @@ type Config struct {
 	// experiments enable this; without it the stand-in's small gradients
 	// make communication unrealistically cheap next to ComputeTime.
 	PaperScaleComm bool
+	// Pipeline enables layer-wise bucketed synchronization: gradients are
+	// fused into buckets (pipeline.Config.BucketBytes) that launch their
+	// sparse all-reduce on the communication stream as soon as their
+	// backward slices finish, overlapping communication with the remaining
+	// backward compute. nil keeps the monolithic schedule. A single bucket
+	// spanning the whole model reproduces the monolithic path bit for bit
+	// (same top-k, same update, same virtual time).
+	Pipeline *pipeline.Config
 }
 
 // Point is one sample of the training trajectory.
@@ -61,6 +70,18 @@ type Result struct {
 	TotalTime     float64
 	MaxRounds     int // per iteration, worst worker
 	BytesPerIter  int64
+	// ExposedComm is the per-iteration synchronization time that actually
+	// delayed the worst worker — α-β charges plus the in-collective
+	// selection/merge compute. With the pipeline it is what outlived the
+	// overlapping backward pass; on serialized schedules (Pipeline nil or
+	// NoOverlap) the whole synchronization is exposed. OverlapSaved is the
+	// per-iteration clock time the pipeline hid under compute (zero when
+	// serialized); serialized − pipelined ≡ OverlapSaved per worker and
+	// iteration.
+	ExposedComm  float64
+	OverlapSaved float64
+	// Buckets is the pipeline's bucket count (0 on the monolithic path).
+	Buckets int
 }
 
 // Run executes the distributed training session and returns worker 0's view
@@ -98,6 +119,7 @@ func Run(cfg Config) *Result {
 
 	type iterStat struct {
 		comm, comp, clock float64
+		exposed, saved    float64
 		rounds            int
 		bytes             int64
 	}
@@ -110,10 +132,6 @@ func Run(cfg Config) *Result {
 		model := c.NewModel(cfg.Seed) // same seed ⇒ identical replicas
 		ds := c.NewData(cfg.Seed)
 		opt := nn.NewSGD(c.LR, c.Momentum)
-		reducer := cfg.Factory(cfg.P, rank, n, k)
-		if rank == 0 {
-			res.Method = reducer.Name()
-		}
 		flat := make([]float32, n)
 		invP := float32(1) / float32(cfg.P)
 		skew := 1.0
@@ -121,16 +139,46 @@ func Run(cfg Config) *Result {
 			skew = cfg.ComputeSkew[rank]
 		}
 
+		// Monolithic path: one reducer over the whole flattened gradient.
+		// Pipeline path: one SegmentReducer per bucket, launched at each
+		// bucket's backward-ready point on the communication stream.
+		var reducer sparsecoll.Reducer
+		var sched *pipeline.Schedule
+		var segs []nn.Segment
+		var global []float32
+		if cfg.Pipeline == nil {
+			reducer = cfg.Factory(cfg.P, rank, n, k)
+			if rank == 0 {
+				res.Method = reducer.Name()
+			}
+		} else {
+			segs = nn.GradSegments(model.Params())
+			ready := nn.GradReadyTimes(model.Params(), c.ComputeTime*skew)
+			sched = pipeline.NewSchedule(cfg.Factory, cfg.P, rank, k, segs, ready, *cfg.Pipeline)
+			global = make([]float32, n)
+			if rank == 0 {
+				res.Method = sched.Reducers[0].BaseName()
+				res.Buckets = len(sched.Buckets)
+			}
+		}
+
 		for it := 0; it < cfg.Iters; it++ {
 			batch := ds.TrainBatch(rank, it, c.BatchSize)
 			nn.ZeroGrads(model.Params())
 			loss, _ := model.Loss(batch)
 			loss.Backward()
-			nn.FlattenGrads(model.Params(), flat)
-			ep.Compute(c.ComputeTime * skew) // simulated forward+backward time
 
 			before := ep.Stats()
-			global := reducer.Reduce(ep, flat)
+			if sched == nil {
+				nn.FlattenGrads(model.Params(), flat)
+				ep.Compute(c.ComputeTime * skew) // simulated forward+backward time
+				global = reducer.Reduce(ep, flat)
+			} else {
+				// Schedule.Run charges the forward+backward compute itself,
+				// bucket by bucket, overlapping each bucket's all-reduce
+				// with the compute still ahead of it.
+				sched.Run(ep, segs, flat, global)
+			}
 			after := ep.Stats()
 
 			for i := range global {
@@ -139,10 +187,21 @@ func Run(cfg Config) *Result {
 			opt.Step(model.Params(), global)
 
 			stats[rank][it] = iterStat{
-				comm:   after.CommTime - before.CommTime,
-				comp:   c.ComputeTime*skew + (after.CompTime - before.CompTime),
-				rounds: after.Rounds - before.Rounds,
-				bytes:  after.BytesRecv - before.BytesRecv,
+				// CompTime already includes the model compute: both paths
+				// charge it through ep.Compute after `before` was taken.
+				comm:    after.CommTime - before.CommTime,
+				comp:    after.CompTime - before.CompTime,
+				exposed: after.ExposedComm - before.ExposedComm,
+				saved:   after.OverlapSaved - before.OverlapSaved,
+				rounds:  after.Rounds - before.Rounds,
+				bytes:   after.BytesRecv - before.BytesRecv,
+			}
+			if sched == nil || cfg.Pipeline.NoOverlap {
+				// Serialized synchronization is exposed in full: the α-β
+				// charges plus the in-collective selection/merge compute —
+				// the same constituents the overlap stream hides or exposes.
+				stats[rank][it].exposed = stats[rank][it].comm +
+					(stats[rank][it].comp - c.ComputeTime*skew)
 			}
 			ep.SyncClock()
 			stats[rank][it].clock = ep.Clock()
@@ -163,11 +222,11 @@ func Run(cfg Config) *Result {
 	})
 
 	// Per-iteration worst-worker aggregates.
-	var commSum, compSum float64
+	var commSum, compSum, exposedSum, savedSum float64
 	var bytesSum int64
 	maxRounds := 0
 	for it := 0; it < cfg.Iters; it++ {
-		var worstComm, worstComp float64
+		var worstComm, worstComp, worstExposed, worstSaved float64
 		var worstBytes int64
 		for w := 0; w < cfg.P; w++ {
 			s := stats[w][it]
@@ -176,6 +235,12 @@ func Run(cfg Config) *Result {
 			}
 			if s.comp > worstComp {
 				worstComp = s.comp
+			}
+			if s.exposed > worstExposed {
+				worstExposed = s.exposed
+			}
+			if s.saved > worstSaved {
+				worstSaved = s.saved
 			}
 			if s.bytes > worstBytes {
 				worstBytes = s.bytes
@@ -186,10 +251,14 @@ func Run(cfg Config) *Result {
 		}
 		commSum += worstComm
 		compSum += worstComp
+		exposedSum += worstExposed
+		savedSum += worstSaved
 		bytesSum += worstBytes
 	}
 	res.CommTime = commSum / float64(cfg.Iters)
 	res.CompTime = compSum / float64(cfg.Iters)
+	res.ExposedComm = exposedSum / float64(cfg.Iters)
+	res.OverlapSaved = savedSum / float64(cfg.Iters)
 	res.PerUpdateTime = res.TotalTime / float64(cfg.Iters)
 	res.MaxRounds = maxRounds
 	res.BytesPerIter = bytesSum / int64(cfg.Iters)

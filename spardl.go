@@ -20,6 +20,7 @@ package spardl
 import (
 	"spardl/internal/core"
 	"spardl/internal/expt"
+	"spardl/internal/pipeline"
 	"spardl/internal/simnet"
 	"spardl/internal/sparsecoll"
 	"spardl/internal/train"
@@ -145,6 +146,11 @@ type (
 	TrainResult = train.Result
 	// Case is one of the paper's seven deep-learning cases.
 	Case = train.Case
+	// PipelineConfig enables layer-wise bucketed synchronization
+	// (TrainConfig.Pipeline): gradients fuse back-to-front into
+	// ~BucketBytes buckets whose sparse all-reduces overlap the remaining
+	// backward pass; TrainResult reports ExposedComm and OverlapSaved.
+	PipelineConfig = pipeline.Config
 )
 
 // Train runs one distributed S-SGD session on the simulated cluster.
