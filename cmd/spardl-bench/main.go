@@ -39,10 +39,11 @@ type reduceBaseline struct {
 	WireBytesNegotiated int64 `json:"wire_bytes_negotiated"`
 }
 
-// runReduceOnce performs one full-cluster SparDL synchronization and
-// returns the cluster-wide received bytes.
-func runReduceOnce(p, n, k int, mode spardl.WireMode, grads [][]float32) int64 {
-	rep := spardl.RunCluster(p, spardl.Ethernet, func(rank int, ep *spardl.Endpoint) {
+// runReduceOnce performs one full-cluster SparDL synchronization on the
+// given backend and returns the run report (cluster-wide received bytes:
+// α-β accounted on the simulator, real serialized bytes on livenet).
+func runReduceOnce(b spardl.Backend, p, n, k int, mode spardl.WireMode, grads [][]float32) *spardl.Report {
+	return b.Run(p, func(rank int, ep spardl.CommEndpoint) {
 		r, err := spardl.New(p, rank, n, k, spardl.Options{Wire: mode})
 		if err != nil {
 			panic(err)
@@ -51,13 +52,11 @@ func runReduceOnce(p, n, k int, mode spardl.WireMode, grads [][]float32) int64 {
 		copy(g, grads[rank])
 		r.Reduce(ep, g)
 	})
-	return rep.TotalBytesRecv()
 }
 
-// emitReduceBaseline measures the BenchmarkReduceOnce workload with
-// testing.Benchmark and writes the JSON record to path.
-func emitReduceBaseline(path string) error {
-	const p, n, k = 14, 1 << 20, 1 << 20 / 100
+// reduceGrads builds the deterministic per-worker gradients of the
+// ReduceOnce workload.
+func reduceGrads(p, n int) [][]float32 {
 	grads := make([][]float32, p)
 	for w := range grads {
 		grads[w] = make([]float32, n)
@@ -65,10 +64,48 @@ func emitReduceBaseline(path string) error {
 			grads[w][i] = float32((i*7+w)%101) / 100
 		}
 	}
+	return grads
+}
+
+// runLiveComparison benchmarks one SparDL synchronization per wire mode on
+// the livenet backend — real encode/decode over channels, wall-clock
+// timed — and prints the measured ns/op next to the α-β simulator's
+// virtual clock for the identical workload. This is the project's
+// hardware-honest number: what a synchronization costs when every sparse
+// message is truly serialized, not accounted.
+func runLiveComparison(w io.Writer, p, n, k int) {
+	fmt.Fprintf(w, "## live vs simulated: one SparDL synchronization (P=%d, n=%d, k=%d)\n\n", p, n, k)
+	fmt.Fprintf(w, "%-12s %14s %16s %16s %14s %14s\n",
+		"wire mode", "sim clock", "live wall ns/op", "live B/op alloc", "sim bytes", "live bytes")
+	grads := reduceGrads(p, n)
+	for _, mode := range []spardl.WireMode{spardl.WireCOO, spardl.WireNegotiated, spardl.WireEncoded} {
+		simRep := runReduceOnce(spardl.SimBackend(spardl.Ethernet), p, n, k, mode, grads)
+		var liveRep *spardl.Report
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				liveRep = runReduceOnce(spardl.LiveBackend(), p, n, k, mode, grads)
+			}
+		})
+		fmt.Fprintf(w, "%-12s %12.3fms %16d %16d %14d %14d\n",
+			mode.String(), simRep.Time*1e3, res.NsPerOp(), res.AllocedBytesPerOp(),
+			simRep.TotalBytesRecv(), liveRep.TotalBytesRecv())
+	}
+	fmt.Fprintf(w, "\nsim clock is virtual α-β seconds on the %s profile; live figures are\n", spardl.Ethernet.Name)
+	fmt.Fprintln(w, "measured wall time and allocation for the same reduction with every sparse")
+	fmt.Fprintln(w, "message actually encoded and decoded through the wire codecs.")
+}
+
+// emitReduceBaseline measures the BenchmarkReduceOnce workload with
+// testing.Benchmark and writes the JSON record to path.
+func emitReduceBaseline(path string) error {
+	const p, n, k = 14, 1 << 20, 1 << 20 / 100
+	grads := reduceGrads(p, n)
+	sim := spardl.SimBackend(spardl.Ethernet)
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			runReduceOnce(p, n, k, spardl.WireCOO, grads)
+			runReduceOnce(sim, p, n, k, spardl.WireCOO, grads)
 		}
 	})
 	rec := reduceBaseline{
@@ -80,8 +117,8 @@ func emitReduceBaseline(path string) error {
 		NsPerOp:             res.NsPerOp(),
 		AllocsPerOp:         res.AllocsPerOp(),
 		BytesPerOp:          res.AllocedBytesPerOp(),
-		WireBytesCOO:        runReduceOnce(p, n, k, spardl.WireCOO, grads),
-		WireBytesNegotiated: runReduceOnce(p, n, k, spardl.WireNegotiated, grads),
+		WireBytesCOO:        runReduceOnce(sim, p, n, k, spardl.WireCOO, grads).TotalBytesRecv(),
+		WireBytesNegotiated: runReduceOnce(sim, p, n, k, spardl.WireNegotiated, grads).TotalBytesRecv(),
 	}
 	out, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -104,6 +141,10 @@ func main() {
 		full     = flag.Bool("full", false, "paper-faithful scale (longer runs) instead of quick mode")
 		out      = flag.String("o", "", "also write results to this file")
 		baseline = flag.String("reduce-baseline", "", "write the BenchmarkReduceOnce perf baseline (ns/op, bytes-on-wire) to this JSON file and exit")
+		live     = flag.Bool("live", false, "benchmark one SparDL synchronization on the livenet backend (real encode/decode, wall-clock ns/op) next to the simulated clock, then exit")
+		liveP    = flag.Int("live-p", 8, "worker count for -live")
+		liveN    = flag.Int("live-n", 1<<18, "gradient length for -live")
+		liveK    = flag.Int("live-k", 1<<18/100, "global sparse budget for -live")
 	)
 	flag.Parse()
 
@@ -111,6 +152,11 @@ func main() {
 		if err := emitReduceBaseline(*baseline); err != nil {
 			log.Fatal(err)
 		}
+		return
+	}
+
+	if *live {
+		runLiveComparison(os.Stdout, *liveP, *liveN, *liveK)
 		return
 	}
 

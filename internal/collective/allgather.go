@@ -9,7 +9,7 @@ package collective
 import (
 	"fmt"
 
-	"spardl/internal/simnet"
+	"spardl/internal/comm"
 )
 
 // WorldRanks returns [0, 1, …, p-1], the group of all workers.
@@ -40,7 +40,7 @@ type SizeFunc func(item any) int
 // (Section III-B). At step t a worker sends its first min(2^t, g-2^t)
 // accumulated items to the member 2^t positions behind it and receives as
 // many from the member 2^t ahead.
-func BruckAllGather(ep *simnet.Endpoint, ranks []int, pos int, own any, size SizeFunc) []any {
+func BruckAllGather(ep comm.Endpoint, ranks []int, pos int, own any, size SizeFunc) []any {
 	g := len(ranks)
 	if g == 0 || ranks[pos] != ep.Rank() {
 		panic("collective: endpoint is not the claimed group member")
@@ -79,7 +79,7 @@ func BruckAllGather(ep *simnet.Endpoint, ranks []int, pos int, own any, size Siz
 // the group in ranks, which must have power-of-two size (the algorithm's
 // classical limitation, Section II). At step t each worker exchanges its
 // entire accumulated set with the member at distance 2^t.
-func RecursiveDoublingAllGather(ep *simnet.Endpoint, ranks []int, pos int, own any, size SizeFunc) []any {
+func RecursiveDoublingAllGather(ep comm.Endpoint, ranks []int, pos int, own any, size SizeFunc) []any {
 	g := len(ranks)
 	if g == 0 || ranks[pos] != ep.Rank() {
 		panic("collective: endpoint is not the claimed group member")

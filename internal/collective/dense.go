@@ -1,7 +1,7 @@
 package collective
 
 import (
-	"spardl/internal/simnet"
+	"spardl/internal/comm"
 	"spardl/internal/sparse"
 )
 
@@ -12,7 +12,7 @@ func DenseBytes(n int) int { return 4 * n }
 // bandwidth-optimal ring algorithm: a P-1 step reduce-scatter pass followed
 // by a P-1 step all-gather pass. Cost: 2(P-1)α + 2n(P-1)/P·β. This is the
 // classical dense baseline the paper's Section I motivates against.
-func RingAllReduce(ep *simnet.Endpoint, data []float32) {
+func RingAllReduce(ep comm.Endpoint, data []float32) {
 	p := ep.P()
 	if p == 1 {
 		return
@@ -57,7 +57,7 @@ func RingAllReduce(ep *simnet.Endpoint, data []float32) {
 // with other worker counts should use RingAllReduce. This is the efficient
 // All-Reduce whose interaction with sparse gradients triggers the SGA
 // dilemma (Section I).
-func RabenseifnerAllReduce(ep *simnet.Endpoint, data []float32) {
+func RabenseifnerAllReduce(ep comm.Endpoint, data []float32) {
 	p := ep.P()
 	if p == 1 {
 		return
@@ -142,7 +142,7 @@ func bisectWindow(rank, span, n, p int) (lo, hi int) {
 // sends block j of its vector straight to worker j. Every worker receives
 // P-1 pieces ((P-1)α latency — the inefficiency TopkDSA and Ok-Topk inherit,
 // Section I-B) and returns the fully reduced block it owns.
-func ReduceScatterDirect(ep *simnet.Endpoint, data []float32) []float32 {
+func ReduceScatterDirect(ep comm.Endpoint, data []float32) []float32 {
 	p := ep.P()
 	me := ep.Rank()
 	part := sparse.NewPartition(len(data), p)

@@ -1,0 +1,163 @@
+// Package comm defines the backend-neutral communication contract every
+// collective in this repository is written against: the Endpoint interface
+// (one worker's handle on a P-worker fabric) and the Backend interface
+// (a way to run P workers against some fabric implementation).
+//
+// Two backends implement the contract:
+//
+//   - package simnet: the deterministic α-β (Hockney) simulator. Payloads
+//     travel by reference, time is virtual, and every cost the paper's
+//     model tracks is charged exactly.
+//   - package livenet: a real concurrent in-memory transport. P goroutines
+//     exchange messages over channels-of-bytes; every payload is actually
+//     serialized through the wire codecs at the sender and decoded at the
+//     receiver, and time is wall-clock.
+//
+// # Determinism contract
+//
+// The algorithms drive all ordering: every Recv names its source rank, and
+// per-(sender, receiver) pair delivery is FIFO on every backend. A reducer
+// therefore computes bit-identical gradients on simnet and livenet — the
+// cross-backend equivalence tests in package livenet pin this — while the
+// *meaning* of the clock and time statistics differs per backend (virtual
+// α-β seconds vs. measured wall seconds).
+//
+// # Concurrency contract
+//
+// An Endpoint belongs to exactly one worker goroutine. Overlap bodies run
+// on the worker's communication stream — a second logical (simnet) or real
+// (livenet) execution lane — and may not nest; all workers must issue their
+// Overlap bodies in the same relative order, exactly as they would order
+// blocking collectives. Between Overlap and Join the main goroutine must
+// not Send or Recv outside the stream.
+package comm
+
+// Stats accumulates one worker's traffic and time accounting. Field
+// semantics per backend:
+//
+//   - simnet: BytesSent/BytesRecv are the α-β accounted sizes; CommTime,
+//     CompTime, ExposedComm and OverlapSaved are virtual seconds.
+//   - livenet: BytesSent/BytesRecv are the real serialized sizes on the
+//     channel; CommTime, ExposedComm and OverlapSaved are measured wall
+//     seconds; CompTime still accumulates the modeled Compute charges
+//     (livenet does not sleep — the algorithms' real selection/merge work
+//     runs for real on the worker goroutine instead).
+type Stats struct {
+	Rounds    int   // number of Recv operations (the "x" in xα + yβ)
+	BytesRecv int64 // total received volume (the "y", in bytes)
+	BytesSent int64
+	MsgsSent  int
+	// CommTime and CompTime split a worker's time into communication
+	// (inside Recv, including waiting for the sender) and local
+	// computation (Compute calls).
+	CommTime float64
+	CompTime float64
+	// ExposedComm and OverlapSaved account for the communication stream
+	// (Overlap/Join): at each Join, the part of the stream's busy time that
+	// outlived the main lane is exposed — it delays the worker exactly as
+	// serialized communication would — while the remainder ran hidden under
+	// computation and is credited to OverlapSaved.
+	ExposedComm  float64
+	OverlapSaved float64
+}
+
+// Endpoint is one worker's handle on a P-worker fabric. Implementations
+// are not safe for concurrent use by multiple worker goroutines; see the
+// package concurrency contract for the Overlap stream.
+type Endpoint interface {
+	// Rank returns this worker's rank in [0, P).
+	Rank() int
+	// P returns the number of workers on the fabric.
+	P() int
+	// Clock returns the worker's current time in seconds: virtual α-β
+	// time on simnet, wall-clock seconds since the run started on livenet.
+	Clock() float64
+	// Stats returns a copy of the worker's statistics.
+	Stats() Stats
+	// ResetStats zeroes the statistics (the clock keeps running).
+	ResetStats()
+	// Compute charges d seconds of modeled local work.
+	Compute(d float64)
+	// Send transmits payload to worker `to`, accounting `bytes` on the
+	// wire. Sends never block the sender. On simnet the payload is handed
+	// over by reference (the sender must not mutate it afterwards); on
+	// livenet it is serialized into a fresh buffer at the call.
+	Send(to int, payload any, bytes int)
+	// Recv blocks until a message from worker `from` arrives and returns
+	// the payload and the sender's accounted byte count.
+	Recv(from int) (payload any, bytes int)
+	// SendRecv performs the paired exchange used by recursive doubling:
+	// send to peer, then receive from the same peer.
+	SendRecv(peer int, payload any, bytes int) (got any, gotBytes int)
+	// Overlap runs body on the worker's communication stream so that
+	// subsequent main-lane Compute models (simnet) or is (livenet)
+	// computation proceeding concurrently with the communication.
+	// Overlap calls may not nest.
+	Overlap(body func(Endpoint))
+	// Join blocks until the communication stream has drained and books the
+	// exposed/overlapped split into Stats. Join with no pending Overlap
+	// work is a no-op, so serial schedules share the pipelined code path.
+	Join()
+	// SyncClock barriers all workers between iterations without charging
+	// communication costs, modeling the implicit synchronization of S-SGD.
+	SyncClock()
+}
+
+// Backend runs worker functions against one fabric implementation.
+type Backend interface {
+	// Name identifies the backend in experiment tables (e.g. "simnet",
+	// "livenet").
+	Name() string
+	// Run executes worker(rank, ep) on p concurrent workers over a fresh
+	// fabric, waits for all of them, and reports per-worker costs. If any
+	// worker panics, Run poisons the fabric (so blocked peers unwind) and
+	// re-panics with the first failure.
+	Run(p int, worker func(rank int, ep Endpoint)) *Report
+}
+
+// Report aggregates the outcome of a cluster run.
+type Report struct {
+	// Time is the completion time in the backend's clock: the maximum
+	// final Clock across workers, i.e. when the slowest worker finished.
+	Time float64
+	// PerWorker holds each worker's final statistics, indexed by rank.
+	PerWorker []Stats
+	// Clocks holds each worker's final clock, indexed by rank.
+	Clocks []float64
+}
+
+// MaxRounds returns the maximum per-worker round count — the "x" a worst-
+// case worker pays in the xα + yβ cost model.
+func (r *Report) MaxRounds() int {
+	m := 0
+	for _, s := range r.PerWorker {
+		if s.Rounds > m {
+			m = s.Rounds
+		}
+	}
+	return m
+}
+
+// MaxBytesRecv returns the maximum per-worker received volume — the "y" a
+// worst-case worker pays in the xα + yβ cost model.
+func (r *Report) MaxBytesRecv() int64 {
+	var m int64
+	for _, s := range r.PerWorker {
+		if s.BytesRecv > m {
+			m = s.BytesRecv
+		}
+	}
+	return m
+}
+
+// TotalBytesRecv returns the received volume summed over all workers — the
+// cluster-wide wire traffic of the run. Wire-mode experiments compare this
+// figure across transports, since per-worker maxima can hide savings on
+// asymmetric schedules (trees, direct-send reduce-scatter).
+func (r *Report) TotalBytesRecv() int64 {
+	var t int64
+	for _, s := range r.PerWorker {
+		t += s.BytesRecv
+	}
+	return t
+}

@@ -2,7 +2,7 @@ package core
 
 import (
 	"spardl/internal/collective"
-	"spardl/internal/simnet"
+	"spardl/internal/comm"
 	"spardl/internal/sparse"
 	"spardl/internal/sparsecoll"
 )
@@ -18,7 +18,7 @@ import (
 // (The paper states the ½ rule for one exchange, which is exact for d = 2;
 // the generalization keeps the cluster-wide conservation law exact for all
 // d — see DESIGN.md §7.)
-func (s *SparDL) runRSAG(ep *simnet.Endpoint, mine *sparse.Chunk) *sparse.Chunk {
+func (s *SparDL) runRSAG(ep comm.Endpoint, mine *sparse.Chunk) *sparse.Chunk {
 	share := float32(0.5)
 	for dist := 1; dist < s.d; dist *= 2 {
 		peer := s.groupRanks[s.team^dist]
@@ -44,7 +44,7 @@ func (s *SparDL) runRSAG(ep *simnet.Endpoint, mine *sparse.Chunk) *sparse.Chunk 
 // so that the merged count N_t lands near L(k,d,P) — and one final top-L
 // selection after it, which is identical on all members of the position
 // group. Cost: Eq. 8.
-func (s *SparDL) runBSAG(ep *simnet.Endpoint, mine *sparse.Chunk) *sparse.Chunk {
+func (s *SparDL) runBSAG(ep comm.Endpoint, mine *sparse.Chunk) *sparse.Chunk {
 	h := s.hctl.H()
 	sel, dropped := sparse.TopKChunk(mine, h)
 	sparsecoll.ChargeScan(ep, mine.Len())

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"spardl/internal/collective"
-	"spardl/internal/simnet"
+	"spardl/internal/comm"
 	"spardl/internal/sparse"
 	"spardl/internal/sparsecoll"
 	"spardl/internal/wire"
@@ -45,6 +45,15 @@ type SparDL struct {
 
 // New builds the SparDL reducer for one worker of a P-worker cluster
 // synchronizing length-n gradients with global selection size k.
+//
+// The per-block selection size is L(k,d,P) = ⌊k/m⌋ clamped to at least 1
+// (every block must contribute something for the schedule to stay
+// well-formed), so the cluster-wide selection the reducer actually
+// enforces is m·max(1, ⌊k/m⌋) — EffectiveK — not k itself. The drift goes
+// both ways: k < m rounds *up* to m (the clamp), and any k not divisible
+// by m rounds *down* by up to m−1 (the floor). Callers that need the
+// requested and enforced budgets to coincide should pick k as a multiple
+// of m = P/d; the regression tests pin this arithmetic.
 func New(p, rank, n, k int, opts Options) (*SparDL, error) {
 	opts = opts.withDefaults()
 	if err := opts.Validate(p); err != nil {
@@ -144,19 +153,30 @@ func (s *SparDL) BsagCounts() []int { return s.nts }
 // BlockK returns the per-block selection size L(k,d,P) = dk/P.
 func (s *SparDL) BlockK() int { return s.blockK }
 
+// EffectiveK returns the cluster-wide selection size the reducer actually
+// enforces: m·max(1, ⌊k/m⌋), the per-block size times the block count.
+// It exceeds the requested k whenever k < m (the clamp raises every block
+// to one entry) and falls short by up to m−1 when m does not divide k;
+// see New. The final global gradient never holds more than EffectiveK
+// entries.
+func (s *SparDL) EffectiveK() int { return s.blockK * s.m }
+
 // Reduce implements sparsecoll.Reducer.
-func (s *SparDL) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
+func (s *SparDL) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 	if len(grad) != s.n {
 		panic(fmt.Sprintf("core: gradient length %d, expected %d", len(grad), s.n))
 	}
 	// Plus the stored residuals onto the fresh gradients and snapshot the
-	// result (the G_copy of Algorithm 1, line 3).
-	acc := make([]float32, s.n)
+	// result (the G_copy of Algorithm 1, line 3). Both vectors are pooled
+	// scratch — nothing built inside Reduce aliases them.
+	acc := sparse.GetDense(s.n)
+	defer sparse.PutDense(acc)
 	copy(acc, grad)
 	for i, r := range s.residual {
 		acc[i] += r
 	}
-	snapshot := make([]float32, s.n)
+	snapshot := sparse.GetDense(s.n)
+	defer sparse.PutDense(snapshot)
 	copy(snapshot, acc)
 	for i := range s.stepRes {
 		s.stepRes[i] = 0
@@ -219,7 +239,7 @@ func (s *SparDL) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
 // are summed into acc (Theorem 1 guarantees they fall into still-held
 // blocks). After l steps only the preservation block remains, which is
 // sparsified last (Algorithm 1, line 9).
-func (s *SparDL) runSRS(ep *simnet.Endpoint, acc []float32, localSel *[]int32) *sparse.Chunk {
+func (s *SparDL) runSRS(ep comm.Endpoint, acc []float32, localSel *[]int32) *sparse.Chunk {
 	m, pos := s.m, s.pos
 	l := len(s.bags)
 	for i := 1; i <= l; i++ {
@@ -251,7 +271,7 @@ func (s *SparDL) runSRS(ep *simnet.Endpoint, acc []float32, localSel *[]int32) *
 // runSRSEager is the unoptimized variant (the ablation baseline for the
 // "Optimization for SRS" paragraph): every block is sparsified up front and
 // re-sparsified immediately after each summation.
-func (s *SparDL) runSRSEager(ep *simnet.Endpoint, acc []float32, localSel *[]int32) *sparse.Chunk {
+func (s *SparDL) runSRSEager(ep comm.Endpoint, acc []float32, localSel *[]int32) *sparse.Chunk {
 	m, pos := s.m, s.pos
 	blocks := make([]*sparse.Chunk, m)
 	for b := 0; b < m; b++ {
@@ -290,7 +310,7 @@ func (s *SparDL) runSRSEager(ep *simnet.Endpoint, acc []float32, localSel *[]int
 
 // sparsifyDenseBlock selects the top blockK entries of acc[lo:hi); every
 // unselected value in the range is accumulated into the step residual ξ.
-func (s *SparDL) sparsifyDenseBlock(ep *simnet.Endpoint, acc []float32, lo, hi int, localSel *[]int32) *sparse.Chunk {
+func (s *SparDL) sparsifyDenseBlock(ep comm.Endpoint, acc []float32, lo, hi int, localSel *[]int32) *sparse.Chunk {
 	kept := sparse.TopKDense(acc, lo, hi, s.blockK)
 	sparsecoll.ChargeScan(ep, hi-lo)
 	for i := lo; i < hi; i++ {
@@ -321,7 +341,7 @@ func addDrops(stepRes []float32, dropped *sparse.Chunk, share float32) {
 // made the final global gradient substitute the collected in-procedure
 // residual (GRES), zero (PRES), or — for LRES — zero at exactly the indices
 // this worker itself selected for transmission.
-func (s *SparDL) finishResidual(ep *simnet.Endpoint, snapshot []float32, finalChunks []*sparse.Chunk, localSel []int32) {
+func (s *SparDL) finishResidual(ep comm.Endpoint, snapshot []float32, finalChunks []*sparse.Chunk, localSel []int32) {
 	copy(s.residual, snapshot)
 	switch s.opts.Residual {
 	case GRES:

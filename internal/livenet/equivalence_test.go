@@ -1,0 +1,120 @@
+package livenet_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"spardl/internal/comm"
+	"spardl/internal/core"
+	"spardl/internal/livenet"
+	"spardl/internal/simnet"
+	"spardl/internal/sparsecoll"
+	"spardl/internal/wire"
+)
+
+// TestBackendEquivalence is the livenet analogue of the encoded round-trip
+// check: for every sparse reducer factory and every wire mode, running the
+// same gradient streams over the real byte-level transport must produce
+// gradients bit-identical to the α-β simulator's. This pins the package
+// determinism contract — the serialize/deserialize round-trip through the
+// wire codecs loses nothing, and goroutine scheduling decides nothing.
+func TestBackendEquivalence(t *testing.T) {
+	const n, k, iters = 2000, 60, 3
+
+	type method struct {
+		name string
+		p    int
+		f    func(mode wire.Mode) sparsecoll.Factory
+	}
+	spardl := func(opts core.Options) func(mode wire.Mode) sparsecoll.Factory {
+		return func(mode wire.Mode) sparsecoll.Factory {
+			opts := opts
+			opts.Wire = mode
+			return core.NewFactory(opts)
+		}
+	}
+	baseline := func(f sparsecoll.Factory) func(mode wire.Mode) sparsecoll.Factory {
+		return func(mode wire.Mode) sparsecoll.Factory { return sparsecoll.WireVariant(f, mode) }
+	}
+	methods := []method{
+		{"spardl", 6, spardl(core.Options{})},
+		{"spardl-eager", 6, spardl(core.Options{Eager: true})},
+		{"spardl-d2-rsag", 6, spardl(core.Options{Teams: 2})},
+		{"spardl-d3-bsag", 6, spardl(core.Options{Teams: 3})},
+		{"topka", 6, baseline(sparsecoll.NewTopkA)},
+		{"topkdsa", 6, baseline(sparsecoll.NewTopkDSA)},
+		{"oktopk", 6, baseline(sparsecoll.NewOkTopk)},
+		{"gtopk", 4, baseline(sparsecoll.NewGTopk)},
+		{"dense", 6, baseline(sparsecoll.NewDense)},
+	}
+	modes := []wire.Mode{wire.ModeCOO, wire.ModeNegotiated, wire.ModeEncoded}
+
+	for _, m := range methods {
+		for _, mode := range modes {
+			t.Run(fmt.Sprintf("%s/%s", m.name, mode), func(t *testing.T) {
+				f := m.f(mode)
+				sim := runReducer(simnet.Backend(simnet.Ethernet), f, m.p, n, k, iters)
+				live := runReducer(livenet.NewBackend(), f, m.p, n, k, iters)
+				for it := 0; it < iters; it++ {
+					for rank := 0; rank < m.p; rank++ {
+						if !equal32(sim[it][rank], live[it][rank]) {
+							t.Fatalf("iter %d rank %d: livenet gradient diverges from simnet", it, rank)
+						}
+					}
+					// Replicas must also agree with each other on the live
+					// backend — the property S-SGD relies on.
+					for rank := 1; rank < m.p; rank++ {
+						if !equal32(live[it][0], live[it][rank]) {
+							t.Fatalf("iter %d: livenet replicas 0 and %d diverge", it, rank)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// runReducer executes iters synchronization steps of factory f over the
+// backend and returns every worker's output gradient per iteration.
+func runReducer(b comm.Backend, f sparsecoll.Factory, p, n, k, iters int) [][][]float32 {
+	outs := make([][][]float32, iters)
+	for it := range outs {
+		outs[it] = make([][]float32, p)
+	}
+	b.Run(p, func(rank int, ep comm.Endpoint) {
+		r := f(p, rank, n, k)
+		for it := 0; it < iters; it++ {
+			outs[it][rank] = r.Reduce(ep, testGrad(rank, it, n))
+			ep.SyncClock()
+		}
+	})
+	return outs
+}
+
+// testGrad builds a deterministic pseudo-random gradient for one worker
+// and iteration: dense enough to exercise every encoding, with exact zero
+// runs so the bitmap/delta formats both win sometimes.
+func testGrad(rank, iter, n int) []float32 {
+	rng := rand.New(rand.NewSource(int64(1000*iter + rank)))
+	g := make([]float32, n)
+	for i := range g {
+		if rng.Intn(4) == 0 {
+			continue // keep exact zeros
+		}
+		g[i] = float32(rng.NormFloat64())
+	}
+	return g
+}
+
+func equal32(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

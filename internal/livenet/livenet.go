@@ -1,0 +1,426 @@
+// Package livenet is the hardware-honest comm backend: a real concurrent
+// in-memory transport. P workers run as goroutines and exchange messages
+// over per-pair FIFO queues of *bytes* — every payload is serialized at
+// the sender through the comm payload registry (sparse chunks go through
+// the wire codecs, so the bytes crossing a queue are exactly the
+// Encode/Decode stream) and parsed back at the receiver. Nothing travels
+// by reference, which is what makes the backend's numbers real: encoding
+// cost, decoding cost, allocation pressure and wall-clock time are all
+// actually paid.
+//
+// # Determinism
+//
+// Results are bit-identical to simnet's for every algorithm in this
+// repository: each Recv names its source rank, per-pair delivery is FIFO,
+// and the codec round-trip preserves float32 values exactly. Only the
+// *clock* differs — Clock, CommTime, ExposedComm and OverlapSaved are
+// measured wall seconds, and BytesSent/BytesRecv count real serialized
+// bytes rather than α-β accounted ones. The accounted size still reaches
+// the receiver as Recv's second return value, so algorithms that feed it
+// back into their schedules (e.g. Ok-Topk's balancing) behave identically.
+//
+// # Concurrency
+//
+// Overlap bodies execute on a dedicated communication-stream goroutine per
+// worker, in launch order; Join blocks until the stream drains. The
+// overlap is therefore real: the main goroutine's computation proceeds
+// while the stream encodes, sends, blocks and decodes. Join's measured
+// wait is the exposed communication; the rest of the stream's busy time
+// ran hidden under main-lane work and is credited to OverlapSaved. The
+// whole package is validated under the race detector.
+package livenet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"spardl/internal/comm"
+)
+
+// message is one serialized payload in flight. accounted carries the
+// sender's α-β byte accounting (returned by Recv); len(buf) is what the
+// transport really moved.
+type message struct {
+	buf       []byte
+	accounted int
+}
+
+// Fabric connects P endpoints with per-pair FIFO byte queues.
+type Fabric struct {
+	p      int
+	queues []*fifo[message] // from*p + to
+	start  time.Time
+	poison sync.Once
+
+	faultMu sync.Mutex
+	fault   any // root cause of the first poisoning, if any
+}
+
+// New creates a fabric for p workers. It panics on p <= 0 (a configuration
+// bug, not a runtime condition).
+func New(p int) *Fabric {
+	if p <= 0 {
+		panic("livenet: need at least one worker")
+	}
+	f := &Fabric{p: p, queues: make([]*fifo[message], p*p), start: time.Now()}
+	for i := range f.queues {
+		f.queues[i] = newFifo[message]()
+	}
+	return f
+}
+
+// P returns the number of workers on the fabric.
+func (f *Fabric) P() int { return f.p }
+
+// Endpoint returns worker rank's endpoint. Each rank must be used by a
+// single goroutine (plus the endpoint's own communication stream).
+func (f *Fabric) Endpoint(rank int) *Endpoint {
+	if rank < 0 || rank >= f.p {
+		panic(fmt.Sprintf("livenet: rank %d out of range [0,%d)", rank, f.p))
+	}
+	return &Endpoint{fabric: f, rank: rank}
+}
+
+// Poison closes every queue so that any worker blocked in Recv panics
+// instead of deadlocking. Run uses it to propagate worker panics.
+func (f *Fabric) Poison() {
+	f.poison.Do(func() {
+		for _, q := range f.queues {
+			q.close()
+		}
+	})
+}
+
+// poisonWith records cause as the fabric's root fault — first writer wins,
+// so the panic that started a cascade is what Run reports, not the
+// poisoned-fabric panics it provokes in blocked peers — and poisons.
+func (f *Fabric) poisonWith(cause any) {
+	f.faultMu.Lock()
+	if f.fault == nil {
+		f.fault = cause
+	}
+	f.faultMu.Unlock()
+	f.Poison()
+}
+
+// Fault returns the recorded root cause of the poisoning, if any.
+func (f *Fabric) Fault() any {
+	f.faultMu.Lock()
+	defer f.faultMu.Unlock()
+	return f.fault
+}
+
+// push enqueues m for delivery, panicking on a poisoned fabric (the
+// cascade panic, not a root cause — poisonWith filters it).
+func (f *Fabric) push(from, to int, m message) {
+	if !f.queues[from*f.p+to].push(m) {
+		panic("livenet: send on poisoned fabric")
+	}
+}
+
+// pop dequeues the next message from the pair queue, panicking on a
+// poisoned fabric.
+func (f *Fabric) pop(from, to int) message {
+	m, ok := f.queues[from*f.p+to].pop()
+	if !ok {
+		panic("livenet: recv on poisoned fabric")
+	}
+	return m
+}
+
+// bufPool recycles serialization buffers: Send marshals into a pooled
+// buffer and Recv returns it once the payload is decoded (decoders never
+// retain their input, per the comm.PayloadCodec contract).
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// Endpoint is one worker's handle on the fabric; it implements
+// comm.Endpoint with wall-clock time and real byte counts.
+type Endpoint struct {
+	fabric *Fabric
+	rank   int
+
+	mu    sync.Mutex // guards stats (main goroutine + stream goroutine)
+	stats comm.Stats
+
+	// Communication-stream state (Overlap/Join).
+	tasks      *fifo[func()]
+	streamDone chan struct{}
+	pending    sync.WaitGroup
+	streamBusy time.Duration // guarded by mu
+	streamErr  any           // guarded by mu; first stream-body panic
+}
+
+var _ comm.Endpoint = (*Endpoint)(nil)
+
+// Rank returns this worker's rank in [0, P).
+func (e *Endpoint) Rank() int { return e.rank }
+
+// P returns the number of workers on the fabric.
+func (e *Endpoint) P() int { return e.fabric.p }
+
+// Clock returns wall-clock seconds elapsed since the fabric was created.
+func (e *Endpoint) Clock() float64 { return time.Since(e.fabric.start).Seconds() }
+
+// Stats returns a copy of the worker's statistics.
+func (e *Endpoint) Stats() comm.Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// ResetStats zeroes the statistics.
+func (e *Endpoint) ResetStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats = comm.Stats{}
+}
+
+// Compute books d seconds of modeled local work. livenet does not sleep:
+// the algorithms' real selection/merge work already runs for real on this
+// goroutine, so the charge is bookkeeping that keeps trainer statistics
+// comparable across backends.
+func (e *Endpoint) Compute(d float64) {
+	if d < 0 {
+		panic("livenet: negative compute time")
+	}
+	e.mu.Lock()
+	e.stats.CompTime += d
+	e.mu.Unlock()
+}
+
+// Send serializes payload through the comm payload registry and enqueues
+// the bytes for worker `to`. The accounted α-β size rides along for the
+// receiver; stats count the real serialized size.
+func (e *Endpoint) Send(to int, payload any, bytes int) {
+	if to == e.rank {
+		panic(fmt.Sprintf("livenet: worker %d sending to itself", e.rank))
+	}
+	// The pooled buffer's ownership moves into the message; the receiver
+	// re-pools it after decoding.
+	buf := comm.AppendPayload((*bufPool.Get().(*[]byte))[:0], payload)
+	e.mu.Lock()
+	e.stats.MsgsSent++
+	e.stats.BytesSent += int64(len(buf))
+	e.mu.Unlock()
+	e.fabric.push(e.rank, to, message{buf: buf, accounted: bytes})
+}
+
+// Recv blocks until a message from worker `from` arrives, decodes it, and
+// returns the payload plus the sender's accounted byte count. The blocking
+// wait and the decode are both measured as communication wall time.
+func (e *Endpoint) Recv(from int) (payload any, bytes int) {
+	t0 := time.Now()
+	m := e.fabric.pop(from, e.rank)
+	v, err := comm.UnmarshalPayload(m.buf)
+	if err != nil {
+		panic(fmt.Sprintf("livenet: decode from worker %d failed: %v", from, err))
+	}
+	n := len(m.buf)
+	buf := m.buf
+	bufPool.Put(&buf)
+	elapsed := time.Since(t0).Seconds()
+	e.mu.Lock()
+	e.stats.Rounds++
+	e.stats.BytesRecv += int64(n)
+	e.stats.CommTime += elapsed
+	e.mu.Unlock()
+	return v, m.accounted
+}
+
+// SendRecv performs the paired exchange used by recursive doubling.
+func (e *Endpoint) SendRecv(peer int, payload any, bytes int) (got any, gotBytes int) {
+	e.Send(peer, payload, bytes)
+	return e.Recv(peer)
+}
+
+// Overlap enqueues body on the worker's communication stream — a real
+// goroutine that executes overlap bodies in launch order — so the caller's
+// subsequent computation genuinely runs concurrently with the stream's
+// serialization, channel traffic and decoding. Overlap calls may not nest;
+// between Overlap and Join the main goroutine must not Send or Recv
+// outside the stream (the ordering contract all backends share).
+func (e *Endpoint) Overlap(body func(comm.Endpoint)) {
+	if e.tasks == nil {
+		e.tasks = newFifo[func()]()
+		e.streamDone = make(chan struct{})
+		go e.stream()
+	}
+	e.pending.Add(1)
+	ok := e.tasks.push(func() {
+		defer e.pending.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				e.mu.Lock()
+				if e.streamErr == nil {
+					e.streamErr = r
+				}
+				e.mu.Unlock()
+				// Record the root cause before unblocking peers (and
+				// possibly our own main goroutine) waiting on queues that
+				// will never be fed: the cascade of poisoned-fabric panics
+				// this triggers must not mask the original failure.
+				e.fabric.poisonWith(fmt.Sprintf("worker %d (comm stream): %v", e.rank, r))
+			}
+		}()
+		t0 := time.Now()
+		body(streamEndpoint{e})
+		busy := time.Since(t0)
+		e.mu.Lock()
+		e.streamBusy += busy
+		e.mu.Unlock()
+	})
+	if !ok {
+		e.pending.Done()
+		panic("livenet: Overlap after shutdown")
+	}
+}
+
+// streamEndpoint is the view handed to Overlap bodies. It delegates every
+// operation to the owning endpoint; only nested stream control is a
+// contract violation. Detecting nesting through the type (rather than a
+// flag) keeps the main and stream goroutines free of shared mutable
+// state: the main lane may legally launch further Overlap bodies while an
+// earlier one is still executing.
+type streamEndpoint struct{ e *Endpoint }
+
+func (s streamEndpoint) Rank() int         { return s.e.Rank() }
+func (s streamEndpoint) P() int            { return s.e.P() }
+func (s streamEndpoint) Clock() float64    { return s.e.Clock() }
+func (s streamEndpoint) Stats() comm.Stats { return s.e.Stats() }
+func (s streamEndpoint) ResetStats()       { s.e.ResetStats() }
+func (s streamEndpoint) Compute(d float64) { s.e.Compute(d) }
+func (s streamEndpoint) SyncClock()        { s.e.SyncClock() }
+func (s streamEndpoint) Join()             { panic("livenet: Join inside Overlap") }
+func (s streamEndpoint) Send(to int, payload any, bytes int) {
+	s.e.Send(to, payload, bytes)
+}
+func (s streamEndpoint) Recv(from int) (any, int) { return s.e.Recv(from) }
+func (s streamEndpoint) SendRecv(peer int, payload any, bytes int) (any, int) {
+	return s.e.SendRecv(peer, payload, bytes)
+}
+func (s streamEndpoint) Overlap(func(comm.Endpoint)) {
+	panic("livenet: Overlap calls cannot nest")
+}
+
+// stream executes overlap bodies in launch order until the task queue is
+// closed by shutdown.
+func (e *Endpoint) stream() {
+	defer close(e.streamDone)
+	for {
+		fn, ok := e.tasks.pop()
+		if !ok {
+			return
+		}
+		fn()
+	}
+}
+
+// Join blocks until the communication stream has drained, then books the
+// measured wait as exposed communication and the remainder of the
+// stream's busy time as OverlapSaved. A stream-body panic resurfaces
+// here, on the worker's own goroutine. Join with no pending work is a
+// no-op, so serial schedules share the pipelined code path.
+func (e *Endpoint) Join() {
+	t0 := time.Now()
+	e.pending.Wait()
+	exposed := time.Since(t0)
+	e.mu.Lock()
+	err := e.streamErr
+	e.streamErr = nil
+	saved := e.streamBusy - exposed
+	if saved < 0 {
+		saved = 0
+	}
+	if e.streamBusy > 0 {
+		e.stats.ExposedComm += exposed.Seconds()
+		e.stats.OverlapSaved += saved.Seconds()
+	}
+	e.streamBusy = 0
+	e.mu.Unlock()
+	if err != nil {
+		panic(err)
+	}
+}
+
+// shutdown stops the communication stream goroutine, if one was started.
+func (e *Endpoint) shutdown() {
+	if e.tasks == nil {
+		return
+	}
+	e.tasks.close()
+	<-e.streamDone
+}
+
+// SyncClock barriers all workers: each sends an empty token to every peer
+// and waits for every peer's token, without touching statistics — the
+// live analogue of simnet's cost-free clock alignment between iterations.
+func (e *Endpoint) SyncClock() {
+	p := e.fabric.p
+	if p == 1 {
+		return
+	}
+	for to := 0; to < p; to++ {
+		if to != e.rank {
+			e.fabric.push(e.rank, to, message{})
+		}
+	}
+	for from := 0; from < p; from++ {
+		if from != e.rank {
+			e.fabric.pop(from, e.rank)
+		}
+	}
+}
+
+// fifo is an unbounded FIFO with blocking pop. Message queues use it to
+// mirror eager sends — the transport never applies backpressure, exactly
+// like simnet, so the two backends execute identical schedules — and the
+// communication stream uses it for its task lane, so Overlap never blocks
+// the main goroutine no matter how many buckets launch before a Join.
+type fifo[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	closed bool
+}
+
+func newFifo[T any]() *fifo[T] {
+	q := &fifo[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push reports false when the queue is closed instead of enqueuing.
+func (q *fifo[T]) push(x T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, x)
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks until an item is available or the queue is closed empty
+// (reported as ok = false).
+func (q *fifo[T]) pop() (x T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return x, false
+	}
+	x = q.items[0]
+	q.items = q.items[1:]
+	return x, true
+}
+
+func (q *fifo[T]) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

@@ -1,0 +1,72 @@
+package livenet
+
+import (
+	"fmt"
+	"sync"
+
+	"spardl/internal/comm"
+)
+
+// Backend adapts livenet to the backend-neutral comm.Backend contract.
+type backend struct{}
+
+// NewBackend returns the livenet backend. It is stateless: every Run
+// builds a fresh fabric.
+func NewBackend() comm.Backend { return backend{} }
+
+// Name implements comm.Backend.
+func (backend) Name() string { return "livenet" }
+
+// Run implements comm.Backend.
+func (backend) Run(p int, worker func(rank int, ep comm.Endpoint)) *comm.Report {
+	return Run(p, worker)
+}
+
+// Run executes worker(rank, endpoint) on p goroutines over a fresh fabric
+// and waits for all of them. If any worker panics, the fabric is poisoned
+// (so blocked peers unwind too) and Run re-panics with the first failure.
+// Report.Time and Report.Clocks are wall-clock seconds from fabric
+// creation to each worker's return.
+func Run(p int, worker func(rank int, ep comm.Endpoint)) *comm.Report {
+	f := New(p)
+	eps := make([]*Endpoint, p)
+	for i := range eps {
+		eps[i] = f.Endpoint(i)
+	}
+	clocks := make([]float64, p)
+	var wg sync.WaitGroup
+	for i, ep := range eps {
+		wg.Add(1)
+		go func(rank int, ep *Endpoint) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					// poisonWith keeps the first cause: a worker dying on
+					// an already-poisoned queue never masks the panic that
+					// started the cascade (including stream-body panics,
+					// which record their cause before poisoning).
+					f.poisonWith(fmt.Sprintf("worker %d: %v", rank, r))
+				}
+			}()
+			worker(rank, ep)
+			clocks[rank] = ep.Clock()
+		}(i, ep)
+	}
+	wg.Wait()
+	// Streams are drained by the workers' Joins on the success path and
+	// unblocked by Poison on the panic path; either way shutdown returns.
+	for _, ep := range eps {
+		ep.shutdown()
+	}
+	if fault := f.Fault(); fault != nil {
+		panic(fault)
+	}
+	rep := &comm.Report{PerWorker: make([]comm.Stats, p), Clocks: clocks}
+	for i, ep := range eps {
+		rep.PerWorker[i] = ep.Stats()
+		if clocks[i] > rep.Time {
+			rep.Time = clocks[i]
+		}
+	}
+	return rep
+}

@@ -3,7 +3,7 @@
 // completes them, back-to-front — into buckets of roughly BucketBytes of
 // gradient, each bucket receives a share of the global sparse budget k
 // proportional to its size, and each bucket's sparse all-reduce launches on
-// the worker's communication stream (simnet.Endpoint.Overlap) the moment
+// the worker's communication stream (comm.Endpoint.Overlap) the moment
 // its last tensor's backward slice finishes. This is the tensor-fusion +
 // compute/communication-overlap extension the SparDL paper's monolithic
 // cost model (Section II) cannot express: with buckets the exposed
@@ -14,8 +14,8 @@ package pipeline
 import (
 	"fmt"
 
+	"spardl/internal/comm"
 	"spardl/internal/nn"
-	"spardl/internal/simnet"
 	"spardl/internal/sparsecoll"
 )
 
@@ -160,7 +160,7 @@ func NewSchedule(base sparsecoll.Factory, p, rank, k int, segs []nn.Segment, rea
 //
 // elapsed compute time is tracked from 0 at the call; the caller must not
 // have charged this iteration's forward/backward compute already.
-func (s *Schedule) Run(ep *simnet.Endpoint, segs []nn.Segment, flat, out []float32) {
+func (s *Schedule) Run(ep comm.Endpoint, segs []nn.Segment, flat, out []float32) {
 	elapsed := 0.0
 	for i, b := range s.Buckets {
 		if d := b.Ready - elapsed; d > 0 {
@@ -174,7 +174,7 @@ func (s *Schedule) Run(ep *simnet.Endpoint, segs []nn.Segment, flat, out []float
 		if s.Config.NoOverlap {
 			r.ReduceInto(ep, flat, out)
 		} else {
-			ep.Overlap(func(ep *simnet.Endpoint) {
+			ep.Overlap(func(ep comm.Endpoint) {
 				r.ReduceInto(ep, flat, out)
 			})
 		}

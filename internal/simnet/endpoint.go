@@ -1,34 +1,26 @@
 package simnet
 
-import "fmt"
+import (
+	"fmt"
 
-// Stats accumulates the α-β accounting for one worker.
-type Stats struct {
-	Rounds    int   // number of Recv operations (the "x" in xα + yβ)
-	BytesRecv int64 // total received volume (the "y", in bytes)
-	BytesSent int64
-	MsgsSent  int
-	// CommTime and CompTime split the virtual clock's advancement into
-	// communication (α-β charges inside Recv, including waiting for the
-	// sender) and local computation (Compute calls). Their sum can be less
-	// than the clock advance when a worker idles waiting for a peer.
-	CommTime float64
-	CompTime float64
-	// ExposedComm and OverlapSaved account for the communication stream
-	// (Overlap/Join): at each Join, the part of the stream's busy time that
-	// outlived the main clock is exposed — it delays the worker exactly as
-	// serialized communication would — while the remainder ran hidden under
-	// computation. OverlapSaved is therefore exactly the clock time a
-	// serialized execution of the same operations (main-clock advance plus
-	// the stream's busy time, back to back) would have added:
-	// serialized − pipelined ≡ OverlapSaved at every Join.
-	ExposedComm  float64
-	OverlapSaved float64
-}
+	"spardl/internal/comm"
+)
+
+// Stats is the α-β accounting for one worker: the backend-neutral comm
+// statistics, with every time field measured in virtual seconds. CommTime
+// and CompTime split the virtual clock's advancement into communication
+// (α-β charges inside Recv, including waiting for the sender) and local
+// computation (Compute calls); their sum can be less than the clock
+// advance when a worker idles waiting for a peer. OverlapSaved is exactly
+// the clock time a serialized execution of the same operations (main-clock
+// advance plus the stream's busy time, back to back) would have added:
+// serialized − pipelined ≡ OverlapSaved at every Join.
+type Stats = comm.Stats
 
 // Endpoint is worker rank's handle on the fabric. It carries the worker's
-// virtual clock and traffic statistics. Endpoints are not safe for
-// concurrent use; each belongs to exactly one worker goroutine.
+// virtual clock and traffic statistics, and implements comm.Endpoint.
+// Endpoints are not safe for concurrent use; each belongs to exactly one
+// worker goroutine.
 type Endpoint struct {
 	fabric *Fabric
 	rank   int
@@ -42,6 +34,8 @@ type Endpoint struct {
 	commBusy    float64
 	overlapping bool
 }
+
+var _ comm.Endpoint = (*Endpoint)(nil)
 
 // Rank returns this worker's rank in [0, P).
 func (e *Endpoint) Rank() int { return e.rank }
@@ -114,8 +108,8 @@ func (e *Endpoint) SendRecv(peer int, payload any, bytes int) (got any, gotBytes
 	return e.Recv(peer)
 }
 
-// Overlap runs comm on the worker's communication stream: every charge
-// inside comm — Recv's α-β costs, Compute calls from selection and merging —
+// Overlap runs body on the worker's communication stream: every charge
+// inside body — Recv's α-β costs, Compute calls from selection and merging —
 // advances a separate comm clock instead of the main clock, so subsequent
 // Compute on the main clock models computation proceeding concurrently with
 // the communication. The stream cannot start before the moment it is
@@ -124,7 +118,7 @@ func (e *Endpoint) SendRecv(peer int, payload any, bytes int) (got any, gotBytes
 // the sender's stamp. Overlap calls may not nest; all workers must issue
 // their Overlap bodies in the same relative order, exactly as they would
 // order blocking collectives.
-func (e *Endpoint) Overlap(comm func(*Endpoint)) {
+func (e *Endpoint) Overlap(body func(comm.Endpoint)) {
 	if e.overlapping {
 		panic("simnet: Overlap calls cannot nest")
 	}
@@ -141,7 +135,7 @@ func (e *Endpoint) Overlap(comm func(*Endpoint)) {
 		e.commBusy += e.clock - start
 		e.clock = main
 	}()
-	comm(e)
+	body(e)
 }
 
 // Join merges the communication stream back into the main clock and books

@@ -3,6 +3,8 @@ package simnet
 import (
 	"math"
 	"testing"
+
+	"spardl/internal/comm"
 )
 
 // almostEq guards against accumulated float error only; the overlap
@@ -16,7 +18,7 @@ func TestOverlapHidesCommUnderCompute(t *testing.T) {
 	prof := Profile{Name: "unit", Alpha: 1, Beta: 0}
 	rep := Run(2, prof, func(rank int, ep *Endpoint) {
 		ep.Compute(4)
-		ep.Overlap(func(ep *Endpoint) {
+		ep.Overlap(func(ep comm.Endpoint) {
 			ep.SendRecv(1-rank, nil, 1)
 		})
 		ep.Compute(6)
@@ -39,7 +41,7 @@ func TestOverlapExposesCommBeyondCompute(t *testing.T) {
 	prof := Profile{Name: "unit", Alpha: 1, Beta: 1}
 	rep := Run(2, prof, func(rank int, ep *Endpoint) {
 		ep.Compute(4)
-		ep.Overlap(func(ep *Endpoint) {
+		ep.Overlap(func(ep comm.Endpoint) {
 			ep.SendRecv(1-rank, nil, 10) // α + β·10 = 11 on the stream
 		})
 		ep.Compute(6)
@@ -64,8 +66,8 @@ func TestOverlapSavedReconcilesWithSerialRun(t *testing.T) {
 	// included to cover stream state across Join boundaries.
 	worker := func(overlap bool) func(rank int, ep *Endpoint) {
 		return func(rank int, ep *Endpoint) {
-			comm := func(bytes int) func(*Endpoint) {
-				return func(ep *Endpoint) {
+			commOp := func(bytes int) func(comm.Endpoint) {
+				return func(ep comm.Endpoint) {
 					ep.Compute(0.25) // selection charged on the stream
 					ep.SendRecv(1-rank, nil, bytes)
 				}
@@ -73,15 +75,15 @@ func TestOverlapSavedReconcilesWithSerialRun(t *testing.T) {
 			for it := 0; it < 2; it++ {
 				ep.Compute(2)
 				if overlap {
-					ep.Overlap(comm(4))
+					ep.Overlap(commOp(4))
 				} else {
-					comm(4)(ep)
+					commOp(4)(ep)
 				}
 				ep.Compute(3)
 				if overlap {
-					ep.Overlap(comm(8))
+					ep.Overlap(commOp(8))
 				} else {
-					comm(8)(ep)
+					commOp(8)(ep)
 				}
 				ep.Compute(1)
 				ep.Join()
@@ -119,7 +121,7 @@ func TestOverlapStreamWaitsForStragglerSender(t *testing.T) {
 		} else {
 			ep.Compute(4)
 		}
-		ep.Overlap(func(ep *Endpoint) {
+		ep.Overlap(func(ep comm.Endpoint) {
 			ep.SendRecv(1-rank, nil, 1)
 		})
 		ep.Compute(2)

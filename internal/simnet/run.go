@@ -3,53 +3,26 @@ package simnet
 import (
 	"fmt"
 	"sync"
+
+	"spardl/internal/comm"
 )
 
-// Report aggregates the outcome of a cluster run.
-type Report struct {
-	// Time is the virtual completion time: the maximum final clock across
-	// workers, i.e. when the slowest worker finished.
-	Time float64
-	// PerWorker holds each worker's final statistics, indexed by rank.
-	PerWorker []Stats
-	// Clocks holds each worker's final virtual clock, indexed by rank.
-	Clocks []float64
-}
+// Report aggregates the outcome of a cluster run; Time and Clocks are
+// virtual α-β seconds.
+type Report = comm.Report
 
-// MaxRounds returns the maximum per-worker round count — the "x" a worst-
-// case worker pays in the xα + yβ cost model.
-func (r *Report) MaxRounds() int {
-	m := 0
-	for _, s := range r.PerWorker {
-		if s.Rounds > m {
-			m = s.Rounds
-		}
-	}
-	return m
-}
+// Backend adapts the simulator to the backend-neutral comm.Backend
+// contract, fixing the network profile at construction.
+func Backend(profile Profile) comm.Backend { return backend{profile} }
 
-// MaxBytesRecv returns the maximum per-worker received volume — the "y" a
-// worst-case worker pays in the xα + yβ cost model.
-func (r *Report) MaxBytesRecv() int64 {
-	var m int64
-	for _, s := range r.PerWorker {
-		if s.BytesRecv > m {
-			m = s.BytesRecv
-		}
-	}
-	return m
-}
+type backend struct{ profile Profile }
 
-// TotalBytesRecv returns the received volume summed over all workers — the
-// cluster-wide wire traffic of the run. Wire-mode experiments compare this
-// figure across transports, since per-worker maxima can hide savings on
-// asymmetric schedules (trees, direct-send reduce-scatter).
-func (r *Report) TotalBytesRecv() int64 {
-	var t int64
-	for _, s := range r.PerWorker {
-		t += s.BytesRecv
-	}
-	return t
+// Name implements comm.Backend.
+func (b backend) Name() string { return "simnet/" + b.profile.Name }
+
+// Run implements comm.Backend.
+func (b backend) Run(p int, worker func(rank int, ep comm.Endpoint)) *Report {
+	return Run(p, b.profile, func(rank int, ep *Endpoint) { worker(rank, ep) })
 }
 
 // Run executes worker(rank, endpoint) on p goroutines over a fresh fabric

@@ -1,0 +1,29 @@
+package sparse
+
+import "sync"
+
+// densePool recycles full-length dense work vectors. One SparDL Reduce at
+// paper-like sizes (n=1M) needs two such vectors — the residual-augmented
+// accumulator and its snapshot — per worker per iteration; allocating them
+// fresh dominated the hot path's allocation volume (BENCH_reduce.json),
+// and byte-level transports add real encode/decode work on top, so the
+// scratch churn is pooled away.
+var densePool = sync.Pool{New: func() any { return new([]float32) }}
+
+// GetDense returns a length-n scratch vector with arbitrary contents.
+// Callers that need zeros must clear it; callers that overwrite the whole
+// vector (copy + add) need not. Pair with PutDense.
+func GetDense(n int) []float32 {
+	sp := densePool.Get().(*[]float32)
+	s := *sp
+	if cap(s) < n {
+		return make([]float32, n)
+	}
+	return s[:n]
+}
+
+// PutDense hands a scratch vector back for reuse. The caller must not
+// retain any reference to it (including sub-slices or chunks aliasing it).
+func PutDense(s []float32) {
+	densePool.Put(&s)
+}

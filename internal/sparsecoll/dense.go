@@ -2,7 +2,7 @@ package sparsecoll
 
 import (
 	"spardl/internal/collective"
-	"spardl/internal/simnet"
+	"spardl/internal/comm"
 )
 
 // DenseAllReduce adapts the classical dense all-reduce algorithms to the
@@ -19,7 +19,7 @@ func NewDense(p, rank, n, k int) Reducer { return DenseAllReduce{} }
 func (DenseAllReduce) Name() string { return "Dense" }
 
 // Reduce implements Reducer.
-func (DenseAllReduce) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
+func (DenseAllReduce) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 	out := make([]float32, len(grad))
 	copy(out, grad)
 	ChargeMerge(ep, len(grad))

@@ -3,7 +3,7 @@ package sparsecoll
 import (
 	"fmt"
 
-	"spardl/internal/simnet"
+	"spardl/internal/comm"
 	"spardl/internal/sparse"
 	"spardl/internal/wire"
 )
@@ -42,7 +42,7 @@ func (g *GTopk) Name() string { return wireName("gTopk", g.tx) }
 func (g *GTopk) setWire(tx wire.Transport) { g.tx = tx }
 
 // Reduce implements Reducer.
-func (g *GTopk) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
+func (g *GTopk) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 	acc, _ := accumulate(grad, g.residual)
 	p, me := ep.P(), ep.Rank()
 

@@ -4,7 +4,7 @@ import (
 	"math"
 
 	"spardl/internal/collective"
-	"spardl/internal/simnet"
+	"spardl/internal/comm"
 	"spardl/internal/sparse"
 	"spardl/internal/wire"
 )
@@ -90,7 +90,7 @@ func (o *OkTopk) packInto(item *okItem, c *sparse.Chunk) {
 func okItemBytes(it any) int { return it.(*okItem).bytes }
 
 // Reduce implements Reducer.
-func (o *OkTopk) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
+func (o *OkTopk) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 	acc, snapshot := accumulate(grad, o.residual)
 	p, me := ep.P(), ep.Rank()
 	o.iter++

@@ -1,0 +1,67 @@
+package sparsecoll
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"spardl/internal/comm"
+)
+
+// The all-gather item wrappers of this package (TopkDSA's dense-switch
+// block, Ok-Topk's balanced block) travel as opaque items through Bruck
+// all-gather; on byte-level backends they must serialize like everything
+// else, so they register with the comm payload registry. Their inner
+// payloads are whatever the wire transport packed (a chunk, a sized chunk,
+// or an already-encoded buffer) and nest through comm.AppendPayload.
+
+func init() {
+	comm.RegisterPayload(comm.PayloadCodec{
+		Tag:   comm.TagDSABlock,
+		Match: func(v any) bool { _, ok := v.(*dsaBlock); return ok },
+		Append: func(dst []byte, v any) []byte {
+			b := v.(*dsaBlock)
+			dst = binary.AppendUvarint(dst, uint64(b.block))
+			dst = binary.AppendUvarint(dst, uint64(b.bytes))
+			return comm.AppendPayload(dst, b.payload)
+		},
+		Decode: func(body []byte) (any, error) {
+			block, used := binary.Uvarint(body)
+			if used <= 0 {
+				return nil, fmt.Errorf("sparsecoll: bad dsa block varint")
+			}
+			body = body[used:]
+			bytes, used := binary.Uvarint(body)
+			if used <= 0 {
+				return nil, fmt.Errorf("sparsecoll: bad dsa bytes varint")
+			}
+			payload, err := comm.UnmarshalPayload(body[used:])
+			if err != nil {
+				return nil, err
+			}
+			return &dsaBlock{block: int(block), payload: payload, bytes: int(bytes)}, nil
+		},
+	})
+	comm.RegisterPayload(comm.PayloadCodec{
+		Tag:   comm.TagOkItem,
+		Match: func(v any) bool { _, ok := v.(*okItem); return ok },
+		Append: func(dst []byte, v any) []byte {
+			it := v.(*okItem)
+			dst = binary.AppendUvarint(dst, uint64(it.bytes))
+			return comm.AppendPayloadList(dst, len(it.payloads), func(i int) any { return it.payloads[i] })
+		},
+		Decode: func(body []byte) (any, error) {
+			bytes, used := binary.Uvarint(body)
+			if used <= 0 {
+				return nil, fmt.Errorf("sparsecoll: bad ok-item bytes varint")
+			}
+			payloads, rest, err := comm.ReadPayloadList(body[used:])
+			if err != nil {
+				return nil, err
+			}
+			if len(rest) != 0 {
+				return nil, fmt.Errorf("sparsecoll: %d trailing bytes after ok-item", len(rest))
+			}
+			return &okItem{bytes: int(bytes), payloads: payloads}, nil
+		},
+	})
+}

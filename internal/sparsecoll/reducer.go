@@ -7,7 +7,7 @@
 package sparsecoll
 
 import (
-	"spardl/internal/simnet"
+	"spardl/internal/comm"
 	"spardl/internal/sparse"
 	"spardl/internal/wire"
 )
@@ -22,7 +22,7 @@ type Reducer interface {
 	// Reduce consumes the local dense gradient for this iteration (the
 	// slice is not retained or mutated) and returns the synchronized
 	// global gradient.
-	Reduce(ep *simnet.Endpoint, grad []float32) []float32
+	Reduce(ep comm.Endpoint, grad []float32) []float32
 }
 
 // Factory builds a Reducer for one worker of a P-worker cluster that
@@ -74,12 +74,12 @@ type CompCost struct {
 var DefaultCompCost = CompCost{PerElementScan: 0.5e-9, PerEntryMerge: 2e-9}
 
 // ChargeScan advances ep's clock for a selection pass over n elements.
-func ChargeScan(ep *simnet.Endpoint, n int) {
+func ChargeScan(ep comm.Endpoint, n int) {
 	ep.Compute(DefaultCompCost.PerElementScan * float64(n))
 }
 
 // ChargeMerge advances ep's clock for merging n sparse entries.
-func ChargeMerge(ep *simnet.Endpoint, n int) {
+func ChargeMerge(ep comm.Endpoint, n int) {
 	ep.Compute(DefaultCompCost.PerEntryMerge * float64(n))
 }
 

@@ -3,7 +3,7 @@ package sparsecoll
 import (
 	"fmt"
 
-	"spardl/internal/simnet"
+	"spardl/internal/comm"
 )
 
 // SegmentReducer runs any base Factory over the sub-range [Lo, Hi) of a
@@ -47,7 +47,7 @@ func (s *SegmentReducer) BaseName() string { return s.inner.Name() }
 // Reduce implements Reducer over the segment view: grad must have length
 // Hi−Lo (e.g. flat[Lo:Hi]) and the result is the synchronized sub-gradient
 // in segment-local coordinates.
-func (s *SegmentReducer) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
+func (s *SegmentReducer) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 	if len(grad) != s.Hi-s.Lo {
 		panic(fmt.Sprintf("sparsecoll: segment [%d,%d) got %d gradient values", s.Lo, s.Hi, len(grad)))
 	}
@@ -57,6 +57,6 @@ func (s *SegmentReducer) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
 // ReduceInto synchronizes flat[Lo:Hi) and writes the global sub-gradient
 // into out[Lo:Hi); the rest of out is untouched, so per-bucket calls
 // assemble the full global gradient in place.
-func (s *SegmentReducer) ReduceInto(ep *simnet.Endpoint, flat, out []float32) {
+func (s *SegmentReducer) ReduceInto(ep comm.Endpoint, flat, out []float32) {
 	copy(out[s.Lo:s.Hi], s.inner.Reduce(ep, flat[s.Lo:s.Hi]))
 }

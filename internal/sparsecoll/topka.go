@@ -2,7 +2,7 @@ package sparsecoll
 
 import (
 	"spardl/internal/collective"
-	"spardl/internal/simnet"
+	"spardl/internal/comm"
 	"spardl/internal/sparse"
 	"spardl/internal/wire"
 )
@@ -33,7 +33,7 @@ func (t *TopkA) Name() string { return wireName("TopkA", t.tx) }
 func (t *TopkA) setWire(tx wire.Transport) { t.tx = tx }
 
 // Reduce implements Reducer.
-func (t *TopkA) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
+func (t *TopkA) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 	acc, _ := accumulate(grad, t.residual)
 
 	local := sparse.TopKDense(acc, 0, t.n, t.k)

@@ -2,7 +2,7 @@ package sparsecoll
 
 import (
 	"spardl/internal/collective"
-	"spardl/internal/simnet"
+	"spardl/internal/comm"
 	"spardl/internal/sparse"
 	"spardl/internal/wire"
 )
@@ -48,7 +48,7 @@ type dsaBlock struct {
 func dsaItemBytes(it any) int { return it.(*dsaBlock).bytes }
 
 // Reduce implements Reducer.
-func (t *TopkDSA) Reduce(ep *simnet.Endpoint, grad []float32) []float32 {
+func (t *TopkDSA) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 	acc, _ := accumulate(grad, t.residual)
 	p, me := ep.P(), ep.Rank()
 

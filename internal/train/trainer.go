@@ -3,6 +3,7 @@ package train
 import (
 	"fmt"
 
+	"spardl/internal/comm"
 	"spardl/internal/data"
 	"spardl/internal/nn"
 	"spardl/internal/pipeline"
@@ -25,6 +26,12 @@ type Config struct {
 	// EvalBatch is the held-out batch size (default 256 for dense tasks,
 	// 64 for sequence tasks).
 	EvalBatch int
+	// Backend selects the communication substrate the workers run on.
+	// nil (the default) uses the α-β simulator with the Network profile;
+	// livenet.NewBackend() runs the same iterations over the real
+	// concurrent byte-level transport, in which case every time-valued
+	// result field holds measured wall seconds and Network is ignored.
+	Backend comm.Backend
 	// ComputeSkew optionally assigns per-worker compute-speed multipliers
 	// (len P) to model a heterogeneous cluster — the paper's future-work
 	// extension (Section VI): synchronous all-reduce waits for the slowest
@@ -128,7 +135,11 @@ func Run(cfg Config) *Result {
 		stats[w] = make([]iterStat, cfg.Iters)
 	}
 
-	simnet.Run(cfg.P, network, func(rank int, ep *simnet.Endpoint) {
+	backend := cfg.Backend
+	if backend == nil {
+		backend = simnet.Backend(network)
+	}
+	backend.Run(cfg.P, func(rank int, ep comm.Endpoint) {
 		model := c.NewModel(cfg.Seed) // same seed ⇒ identical replicas
 		ds := c.NewData(cfg.Seed)
 		opt := nn.NewSGD(c.LR, c.Momentum)

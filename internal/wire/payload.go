@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"spardl/internal/comm"
+	"spardl/internal/sparse"
+)
+
+// Byte-level backends (livenet) serialize every payload through the comm
+// registry; this file plugs the sparse-chunk codecs in, which is what
+// makes wire the load-bearing serializer for real transports: a chunk
+// crossing a livenet channel is exactly the Encode/Decode byte stream,
+// never a shared reference.
+
+func init() {
+	comm.RegisterPayload(comm.PayloadCodec{
+		Tag:   comm.TagChunk,
+		Match: func(v any) bool { _, ok := v.(*sparse.Chunk); return ok },
+		Append: func(dst []byte, v any) []byte {
+			c := v.(*sparse.Chunk)
+			lo, hi := Range(c)
+			buf, _ := Encode(c, lo, hi)
+			return append(dst, buf...)
+		},
+		Decode: func(body []byte) (any, error) { return Decode(body) },
+	})
+	comm.RegisterPayload(comm.PayloadCodec{
+		Tag:   comm.TagChunkSlice,
+		Match: func(v any) bool { _, ok := v.([]*sparse.Chunk); return ok },
+		Append: func(dst []byte, v any) []byte {
+			cs := v.([]*sparse.Chunk)
+			return comm.AppendPayloadList(dst, len(cs), func(i int) any { return cs[i] })
+		},
+		Decode: func(body []byte) (any, error) {
+			items, rest, err := comm.ReadPayloadList(body)
+			if err != nil {
+				return nil, err
+			}
+			if len(rest) != 0 {
+				return nil, fmt.Errorf("wire: %d trailing bytes after chunk slice", len(rest))
+			}
+			cs := make([]*sparse.Chunk, len(items))
+			for i, v := range items {
+				c, ok := v.(*sparse.Chunk)
+				if !ok {
+					return nil, fmt.Errorf("wire: chunk slice holds %T", v)
+				}
+				cs[i] = c
+			}
+			return cs, nil
+		},
+	})
+	comm.RegisterPayload(comm.PayloadCodec{
+		Tag:   comm.TagSizedChunk,
+		Match: func(v any) bool { _, ok := v.(*sizedChunk); return ok },
+		Append: func(dst []byte, v any) []byte {
+			sc := v.(*sizedChunk)
+			// The memoized negotiated size travels with the chunk so
+			// forwarding hops keep charging what the owner accounted.
+			dst = binary.AppendUvarint(dst, uint64(sc.bytes))
+			lo, hi := Range(sc.c)
+			buf, _ := Encode(sc.c, lo, hi)
+			return append(dst, buf...)
+		},
+		Decode: func(body []byte) (any, error) {
+			n, used := binary.Uvarint(body)
+			if used <= 0 {
+				return nil, fmt.Errorf("wire: bad sized-chunk size varint")
+			}
+			c, err := Decode(body[used:])
+			if err != nil {
+				return nil, err
+			}
+			return &sizedChunk{c: c, bytes: int(n)}, nil
+		},
+	})
+}

@@ -1,8 +1,10 @@
 // Package spardl is a Go implementation of SparDL — "Distributed Deep
 // Learning Training with Efficient Sparse Communication" (Zhao et al.,
 // ICDE 2024) — together with the sparse all-reduce baselines it is
-// evaluated against (TopkA, TopkDSA, gTopk, Ok-Topk), a deterministic
-// α-β-model cluster simulator, a small autograd engine, and the full
+// evaluated against (TopkA, TopkDSA, gTopk, Ok-Topk), a backend-neutral
+// communication layer with two interchangeable transports — a
+// deterministic α-β-model cluster simulator and a real concurrent
+// byte-level transport (livenet) — a small autograd engine, and the full
 // experiment harness that regenerates every table and figure of the
 // paper's evaluation.
 //
@@ -18,8 +20,10 @@
 package spardl
 
 import (
+	"spardl/internal/comm"
 	"spardl/internal/core"
 	"spardl/internal/expt"
+	"spardl/internal/livenet"
 	"spardl/internal/pipeline"
 	"spardl/internal/simnet"
 	"spardl/internal/sparsecoll"
@@ -110,17 +114,40 @@ var Methods = map[string]Factory{
 	"dense":   Dense,
 }
 
+// Communication layer. Every collective is written against the backend-
+// neutral comm.Endpoint contract; two backends implement it.
+type (
+	// CommEndpoint is the backend-neutral worker handle every reducer
+	// accepts: *Endpoint (the simulator's) and livenet's endpoint both
+	// satisfy it.
+	CommEndpoint = comm.Endpoint
+	// Backend runs P workers over one communication substrate
+	// (SimBackend or LiveBackend); TrainConfig.Backend selects it.
+	Backend = comm.Backend
+	// Stats is one worker's traffic/time accounting.
+	Stats = comm.Stats
+)
+
+// SimBackend returns the deterministic α-β simulator backend for the
+// given network profile: virtual time, payloads by reference.
+func SimBackend(profile Profile) Backend { return simnet.Backend(profile) }
+
+// LiveBackend returns the real concurrent byte-level backend: P goroutines
+// over in-memory channels, every sparse message actually serialized
+// through the wire codecs, wall-clock time and real byte counts.
+func LiveBackend() Backend { return livenet.NewBackend() }
+
 // Network / cluster simulation.
 type (
 	// Fabric is the simulated α-β network connecting P workers.
 	Fabric = simnet.Fabric
-	// Endpoint is one worker's handle on the fabric (virtual clock,
-	// traffic statistics).
+	// Endpoint is one worker's handle on the simulated fabric (virtual
+	// clock, traffic statistics).
 	Endpoint = simnet.Endpoint
 	// Profile is a network profile (latency α seconds, β seconds/byte).
 	Profile = simnet.Profile
 	// Report aggregates per-worker statistics of a cluster run.
-	Report = simnet.Report
+	Report = comm.Report
 )
 
 // Built-in network profiles.
@@ -133,9 +160,16 @@ var (
 func NewFabric(p int, profile Profile) *Fabric { return simnet.New(p, profile) }
 
 // RunCluster executes worker(rank, endpoint) on p goroutines over a fresh
-// fabric and reports per-worker costs.
+// simulated fabric and reports per-worker α-β costs.
 func RunCluster(p int, profile Profile, worker func(rank int, ep *Endpoint)) *Report {
 	return simnet.Run(p, profile, worker)
+}
+
+// RunLive executes worker(rank, endpoint) on p goroutines over a fresh
+// livenet fabric — the real concurrent transport — and reports per-worker
+// wall-clock costs and real serialized byte counts.
+func RunLive(p int, worker func(rank int, ep CommEndpoint)) *Report {
+	return livenet.Run(p, worker)
 }
 
 // Distributed training.
