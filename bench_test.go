@@ -89,30 +89,23 @@ func BenchmarkExtWire(b *testing.B) { benchExperiment(b, "ext-wire") }
 // BenchmarkExtWireE2E regenerates the end-to-end wire-mode comparison.
 func BenchmarkExtWireE2E(b *testing.B) { benchExperiment(b, "ext-wire-e2e") }
 
-// benchReduceOnce isolates one SparDL synchronization at paper-like sizes
-// (n=1M, k=10k, P=14) — the core-library hot path — under one wire mode.
+// benchReduceOnce isolates one steady-state SparDL synchronization at
+// paper-like sizes (n=1M, k=10k, P=14) — the core-library hot path — under
+// one wire mode, via the canonical spardl.ReduceBench harness (shared with
+// spardl-bench -reduce-baseline, so the committed baseline and this
+// benchmark measure the identical workload). What it measures is the
+// marginal cost of one more Reduce, which the arena allocator keeps
+// allocation-free.
 func benchReduceOnce(b *testing.B, mode spardl.WireMode) {
 	b.Helper()
 	const p, n, k = 14, 1 << 20, 1 << 20 / 100
-	grads := make([][]float32, p)
-	for w := range grads {
-		grads[w] = make([]float32, n)
-		for i := range grads[w] {
-			grads[w][i] = float32((i*7+w)%101) / 100
-		}
+	rb, err := spardl.NewReduceBench(p, n, k, mode)
+	if err != nil {
+		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		spardl.RunCluster(p, spardl.Ethernet, func(rank int, ep *spardl.Endpoint) {
-			r, err := spardl.New(p, rank, n, k, spardl.Options{Wire: mode})
-			if err != nil {
-				b.Error(err)
-				return
-			}
-			g := make([]float32, n)
-			copy(g, grads[rank])
-			r.Reduce(ep, g)
-		})
+		rb.Iterate()
 	}
 }
 

@@ -23,8 +23,10 @@ import (
 )
 
 // reduceBaseline is the JSON perf record emitted by -reduce-baseline: the
-// ns/op and bytes-on-wire baseline of one SparDL synchronization at
-// paper-like sizes (the BenchmarkReduceOnce workload), tracked across PRs.
+// ns/op and bytes-on-wire baseline of one steady-state SparDL
+// synchronization at paper-like sizes (the BenchmarkReduceOnce workload:
+// fabric, reducers and buffers persist across iterations, so the record
+// tracks the marginal cost of one more Reduce), tracked across PRs.
 type reduceBaseline struct {
 	Benchmark   string `json:"benchmark"`
 	P           int    `json:"p"`
@@ -97,15 +99,22 @@ func runLiveComparison(w io.Writer, p, n, k int) {
 }
 
 // emitReduceBaseline measures the BenchmarkReduceOnce workload with
-// testing.Benchmark and writes the JSON record to path.
+// testing.Benchmark and writes the JSON record to path. The measured loop
+// IS the committed benchmark: both run spardl.ReduceBench, so the
+// baseline and the CI gate cannot drift apart.
 func emitReduceBaseline(path string) error {
 	const p, n, k = 14, 1 << 20, 1 << 20 / 100
 	grads := reduceGrads(p, n)
 	sim := spardl.SimBackend(spardl.Ethernet)
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
+		rb, err := spardl.NewReduceBench(p, n, k, spardl.WireCOO)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			runReduceOnce(sim, p, n, k, spardl.WireCOO, grads)
+			rb.Iterate()
 		}
 	})
 	rec := reduceBaseline{
@@ -132,6 +141,82 @@ func emitReduceBaseline(path string) error {
 	return nil
 }
 
+// liveModeRecord is one wire mode's steady-state livenet measurement.
+type liveModeRecord struct {
+	Wire         string `json:"wire"`
+	NsPerOp      int64  `json:"ns_per_op"`
+	BytesPerIter int64  `json:"bytes_per_iter"` // real serialized bytes, cluster-wide
+}
+
+// liveBaseline is the JSON record emitted by -live-baseline: real wall-
+// clock ns/op and real serialized wire bytes for one steady-state SparDL
+// synchronization on the livenet backend, per wire mode.
+type liveBaseline struct {
+	Benchmark  string           `json:"benchmark"`
+	P          int              `json:"p"`
+	N          int              `json:"n"`
+	K          int              `json:"k"`
+	Warmup     int              `json:"warmup"`
+	Iterations int              `json:"iterations"`
+	Modes      []liveModeRecord `json:"modes"`
+}
+
+// emitLiveBaseline measures steady-state synchronizations on the livenet
+// backend — every message truly serialized, reducers and fabric persistent,
+// a SyncClock barrier per iteration like a training loop — and writes the
+// JSON record to path.
+func emitLiveBaseline(path string, p, n, k int) error {
+	const warmup, iters = 3, 10
+	grads := reduceGrads(p, n)
+	rec := liveBaseline{Benchmark: "LiveReduceSteadyState", P: p, N: n, K: k,
+		Warmup: warmup, Iterations: iters}
+	for _, mode := range []spardl.WireMode{spardl.WireCOO, spardl.WireNegotiated, spardl.WireEncoded} {
+		var elapsed time.Duration
+		rep := spardl.LiveBackend().Run(p, func(rank int, ep spardl.CommEndpoint) {
+			r, err := spardl.New(p, rank, n, k, spardl.Options{Wire: mode})
+			if err != nil {
+				panic(err)
+			}
+			g := make([]float32, n)
+			out := make([]float32, n)
+			run := func() {
+				copy(g, grads[rank])
+				r.ReduceInto(ep, g, out)
+				ep.SyncClock()
+			}
+			for it := 0; it < warmup; it++ {
+				run()
+			}
+			ep.ResetStats()
+			var t0 time.Time
+			if rank == 0 {
+				t0 = time.Now()
+			}
+			for it := 0; it < iters; it++ {
+				run()
+			}
+			if rank == 0 {
+				elapsed = time.Since(t0)
+			}
+		})
+		rec.Modes = append(rec.Modes, liveModeRecord{
+			Wire:         mode.String(),
+			NsPerOp:      elapsed.Nanoseconds() / iters,
+			BytesPerIter: rep.TotalBytesRecv() / iters,
+		})
+	}
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s:\n%s", path, out)
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spardl-bench: ")
@@ -141,6 +226,7 @@ func main() {
 		full     = flag.Bool("full", false, "paper-faithful scale (longer runs) instead of quick mode")
 		out      = flag.String("o", "", "also write results to this file")
 		baseline = flag.String("reduce-baseline", "", "write the BenchmarkReduceOnce perf baseline (ns/op, bytes-on-wire) to this JSON file and exit")
+		liveBase = flag.String("live-baseline", "", "write the steady-state livenet baseline (real ns/op + serialized bytes per wire mode, at the -live-p/n/k sizes) to this JSON file and exit")
 		live     = flag.Bool("live", false, "benchmark one SparDL synchronization on the livenet backend (real encode/decode, wall-clock ns/op) next to the simulated clock, then exit")
 		liveP    = flag.Int("live-p", 8, "worker count for -live")
 		liveN    = flag.Int("live-n", 1<<18, "gradient length for -live")
@@ -150,6 +236,13 @@ func main() {
 
 	if *baseline != "" {
 		if err := emitReduceBaseline(*baseline); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *liveBase != "" {
+		if err := emitLiveBaseline(*liveBase, *liveP, *liveN, *liveK); err != nil {
 			log.Fatal(err)
 		}
 		return

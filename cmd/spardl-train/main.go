@@ -31,6 +31,7 @@ func main() {
 		residual = flag.String("residual", "gres", "SparDL residuals: gres | pres | lres")
 		iters    = flag.Int("iters", 120, "training iterations")
 		network  = flag.String("network", "ethernet", "network profile: ethernet | rdma")
+		backend  = flag.String("backend", "sim", "communication substrate: sim (deterministic \u03b1-\u03b2 simulator) | live (real concurrent byte-level transport; time fields become measured wall seconds)")
 		seed     = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
@@ -74,11 +75,19 @@ func main() {
 	fmt.Printf("case %d: %s (%s), %d workers, k/n=%g, %s network\n",
 		c.ID, c.Name, c.Task, *p, *kRatio, profile.Name)
 
-	res := spardl.Train(spardl.TrainConfig{
+	cfg := spardl.TrainConfig{
 		Case: c, P: *p, KRatio: *kRatio, Network: profile,
 		Factory: factory, Iters: *iters, Seed: *seed,
 		EvalEvery: max(1, *iters/10),
-	})
+	}
+	switch strings.ToLower(*backend) {
+	case "sim":
+	case "live":
+		cfg.Backend = spardl.LiveBackend()
+	default:
+		log.Fatalf("unknown backend %q", *backend)
+	}
+	res := spardl.Train(cfg)
 
 	metric := "loss"
 	if c.Accuracy {

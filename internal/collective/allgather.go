@@ -12,6 +12,21 @@ import (
 	"spardl/internal/comm"
 )
 
+// Allocator supplies the []any item slices an all-gather schedule moves
+// around — in practice a *sparse.Arena, whose epoch quarantine makes the
+// slices safe to send by reference and reclaims them without a free. A
+// nil Allocator falls back to plain heap allocation.
+type Allocator interface {
+	Anys(capacity int) []any
+}
+
+func allocAnys(a Allocator, n int) []any {
+	if a == nil {
+		return make([]any, 0, n)
+	}
+	return a.Anys(n)
+}
+
 // WorldRanks returns [0, 1, …, p-1], the group of all workers.
 func WorldRanks(p int) []int {
 	r := make([]int, p)
@@ -41,15 +56,21 @@ type SizeFunc func(item any) int
 // accumulated items to the member 2^t positions behind it and receives as
 // many from the member 2^t ahead.
 func BruckAllGather(ep comm.Endpoint, ranks []int, pos int, own any, size SizeFunc) []any {
+	return BruckAllGatherAlloc(ep, ranks, pos, own, size, nil)
+}
+
+// BruckAllGatherAlloc is BruckAllGather with the item slices drawn from
+// alloc (see Allocator) — the steady-state allocation-free path every
+// arena-backed reducer uses.
+func BruckAllGatherAlloc(ep comm.Endpoint, ranks []int, pos int, own any, size SizeFunc, alloc Allocator) []any {
 	g := len(ranks)
 	if g == 0 || ranks[pos] != ep.Rank() {
 		panic("collective: endpoint is not the claimed group member")
 	}
 	if g == 1 {
-		return []any{own}
+		return append(allocAnys(alloc, 1), own)
 	}
-	held := make([]any, 1, g) // held[j] is the item of member (pos+j) mod g
-	held[0] = own
+	held := append(allocAnys(alloc, g), own) // held[j] is the item of member (pos+j) mod g
 	for dist := 1; dist < g; dist *= 2 {
 		count := dist
 		if g-dist < count {
@@ -57,8 +78,7 @@ func BruckAllGather(ep comm.Endpoint, ranks []int, pos int, own any, size SizeFu
 		}
 		dst := ranks[((pos-dist)%g+g)%g]
 		src := ranks[(pos+dist)%g]
-		out := make([]any, count)
-		copy(out, held[:count])
+		out := append(allocAnys(alloc, count), held[:count]...)
 		bytes := 0
 		for _, it := range out {
 			bytes += size(it)
@@ -68,7 +88,7 @@ func BruckAllGather(ep comm.Endpoint, ranks []int, pos int, own any, size SizeFu
 		held = append(held, in.([]any)...)
 	}
 	// held[j] belongs to member (pos+j) mod g; rotate into member order.
-	result := make([]any, g)
+	result := allocAnys(alloc, g)[:g]
 	for j, it := range held {
 		result[(pos+j)%g] = it
 	}

@@ -8,6 +8,14 @@ import (
 // DenseBytes is the wire size of n dense float32 values.
 func DenseBytes(n int) int { return 4 * n }
 
+// vecPool recycles the dense block buffers the all-reduce schedules move
+// around: the sender draws, the receiver returns after accumulating (the
+// ownership handoff is ordered by the message queue + sync.Pool).
+var vecPool sparse.SlicePool[float32]
+
+func getVec(n int) []float32 { return vecPool.Get(n) }
+func recycleVec(s []float32) { vecPool.Put(s) }
+
 // RingAllReduce sums data across all P workers in place using the
 // bandwidth-optimal ring algorithm: a P-1 step reduce-scatter pass followed
 // by a P-1 step all-gather pass. Cost: 2(P-1)α + 2n(P-1)/P·β. This is the
@@ -28,7 +36,7 @@ func RingAllReduce(ep comm.Endpoint, data []float32) {
 		sendBlk := ((me-s)%p + p) % p
 		recvBlk := ((me-s-1)%p + p) % p
 		lo, hi := part.Bounds(sendBlk)
-		buf := make([]float32, hi-lo)
+		buf := getVec(hi - lo)
 		copy(buf, data[lo:hi])
 		ep.Send(next, buf, DenseBytes(len(buf)))
 		in, _ := ep.Recv(prev)
@@ -36,18 +44,20 @@ func RingAllReduce(ep comm.Endpoint, data []float32) {
 		for i, v := range in.([]float32) {
 			data[rlo+i] += v
 		}
+		recycleVec(in.([]float32))
 	}
 	// All-gather: circulate the fully reduced blocks.
 	for s := 0; s < p-1; s++ {
 		sendBlk := ((me+1-s)%p + p) % p
 		recvBlk := ((me-s)%p + p) % p
 		lo, hi := part.Bounds(sendBlk)
-		buf := make([]float32, hi-lo)
+		buf := getVec(hi - lo)
 		copy(buf, data[lo:hi])
 		ep.Send(next, buf, DenseBytes(len(buf)))
 		in, _ := ep.Recv(prev)
 		rlo, _ := part.Bounds(recvBlk)
 		copy(data[rlo:], in.([]float32))
+		recycleVec(in.([]float32))
 	}
 }
 
@@ -86,12 +96,13 @@ func RabenseifnerAllReduce(ep comm.Endpoint, data []float32) {
 		} else {
 			sendLo, sendHi, keepLo, keepHi = lo, mid, mid, hi
 		}
-		buf := make([]float32, sendHi-sendLo)
+		buf := getVec(sendHi - sendLo)
 		copy(buf, data[sendLo:sendHi])
 		in, _ := ep.SendRecv(peer, buf, DenseBytes(len(buf)))
 		for i, v := range in.([]float32) {
 			data[keepLo+i] += v
 		}
+		recycleVec(in.([]float32))
 		lo, hi = keepLo, keepHi
 		if inLower {
 			groupSize = half
@@ -109,10 +120,11 @@ func RabenseifnerAllReduce(ep comm.Endpoint, data []float32) {
 		peer := me ^ dist
 		myLo, myHi := bisectWindow(me, dist, len(data), p)
 		peerLo, peerHi := bisectWindow(peer, dist, len(data), p)
-		buf := make([]float32, myHi-myLo)
+		buf := getVec(myHi - myLo)
 		copy(buf, data[myLo:myHi])
 		in, _ := ep.SendRecv(peer, buf, DenseBytes(len(buf)))
 		copy(data[peerLo:peerHi], in.([]float32))
+		recycleVec(in.([]float32))
 	}
 }
 
@@ -157,7 +169,7 @@ func ReduceScatterDirect(ep comm.Endpoint, data []float32) []float32 {
 			continue
 		}
 		blo, bhi := part.Bounds(j)
-		buf := make([]float32, bhi-blo)
+		buf := getVec(bhi - blo)
 		copy(buf, data[blo:bhi])
 		ep.Send(j, buf, DenseBytes(len(buf)))
 	}
@@ -169,6 +181,7 @@ func ReduceScatterDirect(ep comm.Endpoint, data []float32) []float32 {
 		for i, v := range in.([]float32) {
 			own[i] += v
 		}
+		recycleVec(in.([]float32))
 	}
 	return own
 }

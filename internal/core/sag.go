@@ -26,10 +26,15 @@ func (s *SparDL) runRSAG(ep comm.Endpoint, mine *sparse.Chunk) *sparse.Chunk {
 		in, _ := ep.SendRecv(peer, pk, bytes)
 		got := s.tx.Unpack(in)
 		sparsecoll.ChargeMerge(ep, got.Len()+mine.Len())
-		merged := sparse.MergeAdd(mine, got)
-		kept, dropped := sparse.TopKChunk(merged, s.blockK)
+		// mine was just sent by reference to the peer and got belongs to
+		// the peer's arena, so neither may be merged in place or recycled;
+		// only the local merged intermediate is.
+		merged := s.ar.MergeAdd(mine, got)
+		kept, dropped := s.ar.TopKChunk(merged, s.blockK)
 		sparsecoll.ChargeScan(ep, merged.Len())
 		addDrops(s.stepRes, dropped, share)
+		s.ar.Recycle(merged)
+		s.ar.Recycle(dropped)
 		mine = kept
 		share /= 2
 	}
@@ -46,30 +51,34 @@ func (s *SparDL) runRSAG(ep comm.Endpoint, mine *sparse.Chunk) *sparse.Chunk {
 // group. Cost: Eq. 8.
 func (s *SparDL) runBSAG(ep comm.Endpoint, mine *sparse.Chunk) *sparse.Chunk {
 	h := s.hctl.H()
-	sel, dropped := sparse.TopKChunk(mine, h)
+	sel, dropped := s.ar.TopKChunk(mine, h)
 	sparsecoll.ChargeScan(ep, mine.Len())
 	// This worker is the unique holder of its team's partial sums, so the
 	// pre-gather drops are collected in full.
 	addDrops(s.stepRes, dropped, 1)
+	s.ar.Recycle(dropped)
 
 	own := s.tx.PackItem(sel)
-	items := collective.BruckAllGather(ep, s.groupRanks, s.team, own, s.tx.ItemBytes)
-	chunks := make([]*sparse.Chunk, len(items))
+	items := collective.BruckAllGatherAlloc(ep, s.groupRanks, s.team, own, s.tx.ItemBytes, s.ar)
+	chunks := s.ar.Chunks(len(items))
 	total := 0
-	for i, it := range items {
-		chunks[i] = s.tx.Unpack(it)
-		total += chunks[i].Len()
+	for _, it := range items {
+		c := s.tx.Unpack(it)
+		chunks = append(chunks, c)
+		total += c.Len()
 	}
 	sparsecoll.ChargeMerge(ep, total)
-	merged := sparse.MergeAddAll(chunks)
+	merged := s.ar.MergeAddAll(chunks)
 	nt := merged.Len()
 	s.nts = append(s.nts, nt)
 
-	kept, dropped2 := sparse.TopKChunk(merged, s.blockK)
+	kept, dropped2 := s.ar.TopKChunk(merged, s.blockK)
 	sparsecoll.ChargeScan(ep, nt)
 	// All d members of the position group hold the identical merged set and
 	// drop identically; each collects a 1/d share (Section III-D).
 	addDrops(s.stepRes, dropped2, 1/float32(s.d))
+	s.ar.Recycle(merged)
+	s.ar.Recycle(dropped2)
 
 	s.hctl.Observe(nt)
 	return kept

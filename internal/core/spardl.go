@@ -41,6 +41,16 @@ type SparDL struct {
 	stepRes  []float32 // ξ of Algorithm 1: all values discarded during the procedure
 	hctl     *HController
 	nts      []int // recorded N_t series (Fig. 7)
+
+	// Steady-state allocation machinery: every chunk, pointer slice and
+	// encode buffer built during a Reduce comes from the arena (epoch-reset
+	// at the top of each call), and the two dense work vectors are
+	// persistent per-reducer scratch — a steady-state ReduceInto performs
+	// no heap allocation of its own.
+	ar       *sparse.Arena
+	acc      []float32 // residual-augmented working gradient
+	snapshot []float32 // G_copy of Algorithm 1, line 3
+	selBuf   []int32   // LRES: indices this worker selected, reused across calls
 }
 
 // New builds the SparDL reducer for one worker of a P-worker cluster
@@ -75,12 +85,15 @@ func New(p, rank, n, k int, opts Options) (*SparDL, error) {
 		n: n, k: k, p: p, rank: rank,
 		d: d, m: m, team: rank / m, pos: rank % m,
 		opts: opts, variant: opts.variantFor(d), blockK: blockK,
-		tx:       wire.Transport{Mode: opts.Wire},
 		part:     sparse.NewPartition(n, m),
 		bags:     sendBags(m),
 		residual: make([]float32, n),
 		stepRes:  make([]float32, n),
+		ar:       sparse.NewArena(),
+		acc:      make([]float32, n),
+		snapshot: make([]float32, n),
 	}
+	s.tx = wire.Transport{Mode: opts.Wire, Arena: s.ar}
 	s.teamRanks = make([]int, m)
 	for j := range s.teamRanks {
 		s.teamRanks[j] = s.team*m + j
@@ -161,29 +174,43 @@ func (s *SparDL) BlockK() int { return s.blockK }
 // entries.
 func (s *SparDL) EffectiveK() int { return s.blockK * s.m }
 
-// Reduce implements sparsecoll.Reducer.
+// Reduce implements sparsecoll.Reducer. It allocates a fresh result vector
+// the caller owns; steady-state loops should pass a reusable vector to
+// ReduceInto instead.
 func (s *SparDL) Reduce(ep comm.Endpoint, grad []float32) []float32 {
-	if len(grad) != s.n {
-		panic(fmt.Sprintf("core: gradient length %d, expected %d", len(grad), s.n))
+	out := make([]float32, s.n)
+	s.ReduceInto(ep, grad, out)
+	return out
+}
+
+// ReduceInto implements sparsecoll.InPlaceReducer: one full SparDL
+// synchronization whose result overwrites out (len n). At steady state the
+// call is allocation-free: chunks come from the reducer's arena (epoch-
+// reset here), dense scratch is persistent per-reducer state.
+func (s *SparDL) ReduceInto(ep comm.Endpoint, grad, out []float32) {
+	if len(grad) != s.n || len(out) != s.n {
+		panic(fmt.Sprintf("core: gradient/output length %d/%d, expected %d", len(grad), len(out), s.n))
 	}
+	// New arena epoch: everything handed out two Reduce calls ago is
+	// reclaimed (one epoch of quarantine covers in-flight peer reads on
+	// reference-passing backends; see sparse.Arena).
+	s.ar.Reset()
 	// Plus the stored residuals onto the fresh gradients and snapshot the
-	// result (the G_copy of Algorithm 1, line 3). Both vectors are pooled
-	// scratch — nothing built inside Reduce aliases them.
-	acc := sparse.GetDense(s.n)
-	defer sparse.PutDense(acc)
+	// result (the G_copy of Algorithm 1, line 3). Both vectors are
+	// persistent scratch — nothing built inside Reduce aliases them.
+	acc := s.acc
 	copy(acc, grad)
 	for i, r := range s.residual {
 		acc[i] += r
 	}
-	snapshot := sparse.GetDense(s.n)
-	defer sparse.PutDense(snapshot)
+	snapshot := s.snapshot
 	copy(snapshot, acc)
 	for i := range s.stepRes {
 		s.stepRes[i] = 0
 	}
 	sparsecoll.ChargeScan(ep, s.n)
 
-	var localSel []int32 // indices this worker selected for transmission (LRES)
+	localSel := s.selBuf[:0] // indices this worker selected for transmission (LRES)
 
 	// Phase 1: Spar-Reduce-Scatter inside the team.
 	var reserved *sparse.Chunk
@@ -209,26 +236,29 @@ func (s *SparDL) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 	// Phase 3: Bruck all-gather of the reduced blocks inside the team.
 	var finalChunks []*sparse.Chunk
 	if s.m == 1 {
-		finalChunks = []*sparse.Chunk{reserved}
+		finalChunks = append(s.ar.Chunks(1), reserved)
 	} else {
 		own := s.tx.PackItem(reserved)
-		items := collective.BruckAllGather(ep, s.teamRanks, s.pos, own, s.tx.ItemBytes)
-		finalChunks = make([]*sparse.Chunk, len(items))
+		items := collective.BruckAllGatherAlloc(ep, s.teamRanks, s.pos, own, s.tx.ItemBytes, s.ar)
+		finalChunks = s.ar.Chunks(len(items))
 		total := 0
-		for i, it := range items {
-			finalChunks[i] = s.tx.Unpack(it)
-			total += finalChunks[i].Len()
+		for _, it := range items {
+			c := s.tx.Unpack(it)
+			finalChunks = append(finalChunks, c)
+			total += c.Len()
 		}
 		sparsecoll.ChargeMerge(ep, total)
 	}
 
-	out := make([]float32, s.n)
+	for i := range out {
+		out[i] = 0
+	}
 	for _, c := range finalChunks {
 		c.AddToDense(out)
 	}
 
 	s.finishResidual(ep, snapshot, finalChunks, localSel)
-	return out
+	s.selBuf = localSel[:0]
 }
 
 // runSRS is the transmission-with-sparsification process of Section III-B
@@ -245,7 +275,7 @@ func (s *SparDL) runSRS(ep comm.Endpoint, acc []float32, localSel *[]int32) *spa
 	for i := 1; i <= l; i++ {
 		dist := 1 << (l - i)
 		bag := s.bags[l-i] // bag number l-i+1
-		payload := make([]*sparse.Chunk, 0, len(bag))
+		payload := s.ar.Chunks(len(bag))
 		for _, r := range bag {
 			b := (pos + r) % m
 			lo, hi := s.part.Bounds(b)
@@ -273,16 +303,16 @@ func (s *SparDL) runSRS(ep comm.Endpoint, acc []float32, localSel *[]int32) *spa
 // re-sparsified immediately after each summation.
 func (s *SparDL) runSRSEager(ep comm.Endpoint, acc []float32, localSel *[]int32) *sparse.Chunk {
 	m, pos := s.m, s.pos
-	blocks := make([]*sparse.Chunk, m)
+	blocks := s.ar.Chunks(m)
 	for b := 0; b < m; b++ {
 		lo, hi := s.part.Bounds(b)
-		blocks[b] = s.sparsifyDenseBlock(ep, acc, lo, hi, localSel)
+		blocks = append(blocks, s.sparsifyDenseBlock(ep, acc, lo, hi, localSel))
 	}
 	l := len(s.bags)
 	for i := 1; i <= l; i++ {
 		dist := 1 << (l - i)
 		bag := s.bags[l-i]
-		payload := make([]*sparse.Chunk, 0, len(bag))
+		payload := s.ar.Chunks(len(bag))
 		for _, r := range bag {
 			b := (pos + r) % m
 			if blocks[b].Len() > 0 {
@@ -298,10 +328,15 @@ func (s *SparDL) runSRSEager(ep comm.Endpoint, acc []float32, localSel *[]int32)
 		for _, c := range s.tx.UnpackSlice(in) {
 			b := s.part.BlockOf(c.Idx[0])
 			sparsecoll.ChargeMerge(ep, c.Len()+blocks[b].Len())
-			merged := sparse.MergeAdd(blocks[b], c)
-			kept, dropped := sparse.TopKChunk(merged, s.blockK)
+			// blocks[b] is local-only (never sent), so the merge may reuse
+			// its storage in place; the merged intermediate is recycled as
+			// soon as the selection has copied out of it.
+			merged := s.ar.MergeAddInto(blocks[b], c)
+			kept, dropped := s.ar.TopKChunk(merged, s.blockK)
 			sparsecoll.ChargeScan(ep, merged.Len())
 			addDrops(s.stepRes, dropped, 1)
+			s.ar.Recycle(merged)
+			s.ar.Recycle(dropped)
 			blocks[b] = kept
 		}
 	}
@@ -311,7 +346,7 @@ func (s *SparDL) runSRSEager(ep comm.Endpoint, acc []float32, localSel *[]int32)
 // sparsifyDenseBlock selects the top blockK entries of acc[lo:hi); every
 // unselected value in the range is accumulated into the step residual ξ.
 func (s *SparDL) sparsifyDenseBlock(ep comm.Endpoint, acc []float32, lo, hi int, localSel *[]int32) *sparse.Chunk {
-	kept := sparse.TopKDense(acc, lo, hi, s.blockK)
+	kept := s.ar.TopKDense(acc, lo, hi, s.blockK)
 	sparsecoll.ChargeScan(ep, hi-lo)
 	for i := lo; i < hi; i++ {
 		s.stepRes[i] += acc[i]

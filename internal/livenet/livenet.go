@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"spardl/internal/comm"
+	"spardl/internal/sparse"
 )
 
 // message is one serialized payload in flight. accounted carries the
@@ -132,7 +133,10 @@ func (f *Fabric) pop(from, to int) message {
 // bufPool recycles serialization buffers: Send marshals into a pooled
 // buffer and Recv returns it once the payload is decoded (decoders never
 // retain their input, per the comm.PayloadCodec contract).
-var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+var bufPool sparse.SlicePool[byte]
+
+func getBuf() []byte  { return bufPool.Get(0) }
+func putBuf(b []byte) { bufPool.Put(b) }
 
 // Endpoint is one worker's handle on the fabric; it implements
 // comm.Endpoint with wall-clock time and real byte counts.
@@ -198,7 +202,7 @@ func (e *Endpoint) Send(to int, payload any, bytes int) {
 	}
 	// The pooled buffer's ownership moves into the message; the receiver
 	// re-pools it after decoding.
-	buf := comm.AppendPayload((*bufPool.Get().(*[]byte))[:0], payload)
+	buf := comm.AppendPayload(getBuf(), payload)
 	e.mu.Lock()
 	e.stats.MsgsSent++
 	e.stats.BytesSent += int64(len(buf))
@@ -217,8 +221,7 @@ func (e *Endpoint) Recv(from int) (payload any, bytes int) {
 		panic(fmt.Sprintf("livenet: decode from worker %d failed: %v", from, err))
 	}
 	n := len(m.buf)
-	buf := m.buf
-	bufPool.Put(&buf)
+	putBuf(m.buf)
 	elapsed := time.Since(t0).Seconds()
 	e.mu.Lock()
 	e.stats.Rounds++
@@ -381,6 +384,7 @@ type fifo[T any] struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []T
+	head   int // consumed prefix; compacted when the queue drains
 	closed bool
 }
 
@@ -407,14 +411,22 @@ func (q *fifo[T]) push(x T) bool {
 func (q *fifo[T]) pop() (x T, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for q.head == len(q.items) && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		return x, false
 	}
-	x = q.items[0]
-	q.items = q.items[1:]
+	x = q.items[q.head]
+	var zero T
+	q.items[q.head] = zero // drop the payload reference
+	q.head++
+	if q.head == len(q.items) {
+		// Drained: rewind so the backing array is reused forever instead
+		// of marching forward and reallocating on every refill.
+		q.items = q.items[:0]
+		q.head = 0
+	}
 	return x, true
 }
 

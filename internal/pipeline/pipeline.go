@@ -160,6 +160,11 @@ func NewSchedule(base sparsecoll.Factory, p, rank, k int, segs []nn.Segment, rea
 //
 // elapsed compute time is tracked from 0 at the call; the caller must not
 // have charged this iteration's forward/backward compute already.
+//
+// Each bucket reduces through its SegmentReducer's in-place path, so a
+// steady-state iteration performs no per-bucket allocation: every inner
+// reducer draws its chunks from its own arena and writes straight into
+// the caller's out vector.
 func (s *Schedule) Run(ep comm.Endpoint, segs []nn.Segment, flat, out []float32) {
 	elapsed := 0.0
 	for i, b := range s.Buckets {

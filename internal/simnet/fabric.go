@@ -101,6 +101,7 @@ type queue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []Message
+	head   int // consumed prefix; compacted when the queue drains
 	closed bool
 }
 
@@ -123,14 +124,21 @@ func (q *queue) push(m Message) {
 func (q *queue) pop() Message {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for q.head == len(q.items) && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.items) == 0 {
+	if q.head == len(q.items) {
 		panic("simnet: recv on poisoned fabric")
 	}
-	m := q.items[0]
-	q.items = q.items[1:]
+	m := q.items[q.head]
+	q.items[q.head] = Message{} // drop the payload reference
+	q.head++
+	if q.head == len(q.items) {
+		// Drained: rewind so the backing array is reused forever instead
+		// of marching forward and reallocating on every refill.
+		q.items = q.items[:0]
+		q.head = 0
+	}
 	return m
 }
 

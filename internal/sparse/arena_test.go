@@ -1,0 +1,314 @@
+package sparse
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func sameChunk(a, b *Chunk) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Idx {
+		if a.Idx[i] != b.Idx[i] || a.Val[i] != b.Val[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestArenaGetRecycleReuse pins the freelist contract: a recycled chunk is
+// handed out again by a Get of compatible size within the same epoch, and
+// the reuse does not alias any still-live chunk.
+func TestArenaGetRecycleReuse(t *testing.T) {
+	a := NewArena()
+	a.Reset()
+	c1 := a.Get(100)
+	c1.Idx = append(c1.Idx, 1, 2, 3)
+	c1.Val = append(c1.Val, 1, 2, 3)
+	live := a.Get(100)
+	live.Idx = append(live.Idx, 9)
+	live.Val = append(live.Val, 9)
+
+	a.Recycle(c1)
+	if a.Owns(c1) {
+		t.Fatal("recycled chunk still reported as owned")
+	}
+	c2 := a.Get(80) // same pow2 class as 100 → must reuse c1
+	if c2 != c1 {
+		t.Fatalf("expected freelist reuse of the recycled chunk")
+	}
+	if c2.Len() != 0 {
+		t.Fatalf("reused chunk not reset: len=%d", c2.Len())
+	}
+	if !a.Owns(c2) {
+		t.Fatal("reused chunk must be owned again")
+	}
+	// Filling the reused chunk must not disturb the live one.
+	for i := 0; i < 80; i++ {
+		c2.Idx = append(c2.Idx, int32(i))
+		c2.Val = append(c2.Val, float32(i))
+	}
+	if live.Len() != 1 || live.Idx[0] != 9 || live.Val[0] != 9 {
+		t.Fatalf("live chunk corrupted by freelist reuse: %v %v", live.Idx, live.Val)
+	}
+}
+
+// TestArenaDoubleRecyclePanics pins the misuse guard.
+func TestArenaDoubleRecyclePanics(t *testing.T) {
+	a := NewArena()
+	a.Reset()
+	c := a.Get(8)
+	a.Recycle(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double recycle did not panic")
+		}
+	}()
+	a.Recycle(c)
+}
+
+// TestArenaEpochResetClearsOwnership: after Reset, chunks from earlier
+// epochs are no longer owned, recycling them is a no-op (not a panic), and
+// their storage is only reused after a full quarantine epoch.
+func TestArenaEpochResetClearsOwnership(t *testing.T) {
+	a := NewArena()
+	a.Reset()
+	old := a.Get(16)
+	old.Idx = append(old.Idx, 7)
+	old.Val = append(old.Val, 7)
+
+	a.Reset()
+	if a.Owns(old) {
+		t.Fatal("chunk survived epoch reset as owned")
+	}
+	a.Recycle(old) // stale recycle must be ignored
+	if a.Get(16) == old {
+		t.Fatal("stale recycle fed the freelist")
+	}
+	// One epoch of quarantine: during this epoch the old storage must not
+	// be reused (peers may still read it on reference-passing backends).
+	quarantined := a.Get(16)
+	if &quarantined.Idx[:1][0] == &old.Idx[:1][0] {
+		t.Fatal("storage reused during quarantine epoch")
+	}
+	if old.Idx[0] != 7 || old.Val[0] != 7 {
+		t.Fatal("quarantined storage overwritten")
+	}
+
+	// After the next Reset the old epoch's slab may be recycled; the data
+	// is then legitimately gone. Just ensure allocation still works.
+	a.Reset()
+	fresh := a.Get(16)
+	fresh.Idx = append(fresh.Idx, 1)
+	if !a.Owns(fresh) {
+		t.Fatal("fresh chunk not owned")
+	}
+}
+
+// TestArenaRecycleForeignAndHeap: recycling chunks an arena does not own
+// (heap chunks, wrapped headers, other arenas' chunks) is a no-op.
+func TestArenaRecycleForeignAndHeap(t *testing.T) {
+	a, b := NewArena(), NewArena()
+	a.Reset()
+	b.Reset()
+	heap := chunkOf(1, 1)
+	a.Recycle(heap)
+	foreign := b.Get(8)
+	a.Recycle(foreign)
+	if !b.Owns(foreign) {
+		t.Fatal("foreign recycle disturbed the owning arena")
+	}
+	w := a.Wrap(heap.Idx, heap.Val)
+	a.Recycle(w) // storage not arena-owned: must be ignored
+	if got := a.Get(1); got == w {
+		t.Fatal("wrap header entered the freelist")
+	}
+}
+
+// TestArenaOpsMatchHeapOps: every arena-allocating operation must produce
+// the same entries as its heap twin, across randomized inputs and epochs.
+func TestArenaOpsMatchHeapOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := NewArena()
+	randChunk := func(n, span int) *Chunk {
+		m := map[int32]float32{}
+		for len(m) < n {
+			m[int32(rng.Intn(span))] = float32(rng.NormFloat64())
+		}
+		return FromMap(m)
+	}
+	for epoch := 0; epoch < 50; epoch++ {
+		a.Reset()
+		x := randChunk(1+rng.Intn(64), 500)
+		y := randChunk(1+rng.Intn(64), 500)
+		if got, want := a.MergeAdd(x, y), MergeAdd(x, y); !sameChunk(got, want) {
+			t.Fatalf("epoch %d: arena MergeAdd diverges", epoch)
+		}
+		var many []*Chunk
+		for i := 0; i < 2+rng.Intn(5); i++ {
+			many = append(many, randChunk(1+rng.Intn(64), 500))
+		}
+		if got, want := a.MergeAddAll(many), MergeAddAll(many); !sameChunk(got, want) {
+			t.Fatalf("epoch %d: arena MergeAddAll diverges", epoch)
+		}
+		k := 1 + rng.Intn(x.Len())
+		gk, gd := a.TopKChunk(x, k)
+		wk, wd := TopKChunk(x, k)
+		if !sameChunk(gk, wk) || !sameChunk(gd, wd) {
+			t.Fatalf("epoch %d: arena TopKChunk diverges", epoch)
+		}
+		dense := make([]float32, 200)
+		for i := range dense {
+			if rng.Intn(3) == 0 {
+				dense[i] = float32(rng.NormFloat64())
+			}
+		}
+		if got, want := a.TopKDense(dense, 10, 190, 17), TopKDense(dense, 10, 190, 17); !sameChunk(got, want) {
+			t.Fatalf("epoch %d: arena TopKDense diverges", epoch)
+		}
+		if got, want := a.FromDense(dense, 0, len(dense)), FromDense(dense, 0, len(dense)); !sameChunk(got, want) {
+			t.Fatalf("epoch %d: arena FromDense diverges", epoch)
+		}
+		thr := float32(0.5)
+		ak, ad := a.ThresholdChunk(x, thr)
+		hk, hd := ThresholdChunk(x, thr)
+		if !sameChunk(ak, hk) || !sameChunk(ad, hd) {
+			t.Fatalf("epoch %d: arena ThresholdChunk diverges", epoch)
+		}
+		if got, want := a.ThresholdDense(dense, 0, len(dense), thr), ThresholdDense(dense, 0, len(dense), thr); !sameChunk(got, want) {
+			t.Fatalf("epoch %d: arena ThresholdDense diverges", epoch)
+		}
+		part := NewPartition(500, 7)
+		gs := a.Split(part, x)
+		ws := part.Split(x)
+		for b := range ws {
+			if !sameChunk(gs[b], ws[b]) {
+				t.Fatalf("epoch %d: arena Split diverges at block %d", epoch, b)
+			}
+		}
+		if got, want := a.Concat(gs), Concat(ws); !sameChunk(got, want) {
+			t.Fatalf("epoch %d: arena Concat diverges", epoch)
+		}
+	}
+}
+
+// TestMergeAddInto checks the in-place backward merge against the
+// allocating merge, including capacity-overflow fallback and duplicates.
+func TestMergeAddInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := NewArena()
+	for trial := 0; trial < 200; trial++ {
+		a.Reset()
+		nd, ns := 1+rng.Intn(40), 1+rng.Intn(40)
+		mk := func(n int) *Chunk {
+			m := map[int32]float32{}
+			for len(m) < n {
+				m[int32(rng.Intn(120))] = float32(rng.NormFloat64())
+			}
+			return FromMap(m)
+		}
+		dstSrc, src := mk(nd), mk(ns)
+		dst := a.Get(nd + rng.Intn(64)) // varying spare capacity
+		dst.Idx = append(dst.Idx, dstSrc.Idx...)
+		dst.Val = append(dst.Val, dstSrc.Val...)
+		want := MergeAdd(dstSrc, src)
+		got := a.MergeAddInto(dst, src)
+		if !sameChunk(got, want) {
+			t.Fatalf("trial %d: MergeAddInto diverges: got %v/%v want %v/%v",
+				trial, got.Idx, got.Val, want.Idx, want.Val)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestMergeAddAllParallelDeterminism forces the sharded path and checks it
+// is bit-identical to the serial k-way merge.
+func TestMergeAddAllParallelDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const fanin = 6
+	const per = (parallelMergeMinEntries / fanin) + 1000
+	chunks := make([]*Chunk, fanin)
+	for i := range chunks {
+		m := map[int32]float32{}
+		for len(m) < per {
+			// Skewed distribution: most entries in the lower half, so the
+			// shard cut points are uneven.
+			idx := int32(rng.Intn(1 << 22))
+			if rng.Intn(3) > 0 {
+				idx /= 2
+			}
+			m[idx] = float32(rng.NormFloat64())
+		}
+		chunks[i] = FromMap(m)
+	}
+	serial := &Chunk{Idx: make([]int32, 0, fanin*per), Val: make([]float32, 0, fanin*per)}
+	act := make([]*Chunk, len(chunks))
+	copy(act, chunks)
+	kwayMerge(serial, act, nil)
+
+	a := NewArena()
+	a.Reset()
+	got := a.MergeAddAll(chunks)
+	if !sameChunk(got, serial) {
+		t.Fatal("sharded MergeAddAll diverges from serial k-way merge")
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// And the public (nil-arena) entry point must agree too.
+	if pub := MergeAddAll(chunks); !sameChunk(pub, serial) {
+		t.Fatal("public MergeAddAll diverges from serial k-way merge")
+	}
+}
+
+// TestArenaConcurrentWorkers runs W workers, each with its own arena,
+// exchanging chunks over channels in a ring with a barrier per epoch —
+// the communication pattern of the reduce collectives — under -race.
+// Receivers read chunks allocated from the sender's arena while senders
+// keep allocating; the epoch quarantine must keep every read safe.
+func TestArenaConcurrentWorkers(t *testing.T) {
+	const workers = 4
+	const epochs = 60
+	chans := make([]chan *Chunk, workers)
+	for i := range chans {
+		chans[i] = make(chan *Chunk, 1)
+	}
+	var wg sync.WaitGroup
+	epochDone := make([]*sync.WaitGroup, epochs)
+	for e := range epochDone {
+		epochDone[e] = &sync.WaitGroup{}
+		epochDone[e].Add(workers)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			a := NewArena()
+			dense := make([]float32, 512)
+			for e := 0; e < epochs; e++ {
+				a.Reset()
+				for i := range dense {
+					dense[i] = float32((i*31+w*7+e)%17) - 8
+				}
+				mine := a.TopKDense(dense, 0, len(dense), 64)
+				chans[(w+1)%workers] <- mine
+				got := <-chans[w]
+				merged := a.MergeAdd(mine, got)
+				kept, dropped := a.TopKChunk(merged, 32)
+				a.Recycle(merged)
+				if kept.Len()+dropped.Len() != merged.Len() {
+					t.Errorf("worker %d epoch %d: top-k split lost entries", w, e)
+				}
+				a.Recycle(kept)
+				a.Recycle(dropped)
+				epochDone[e].Done()
+				epochDone[e].Wait() // barrier: all workers end the epoch together
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -10,7 +10,7 @@ package sparse
 
 import (
 	"fmt"
-	"math"
+	"slices"
 	"sort"
 )
 
@@ -20,6 +20,15 @@ import (
 type Chunk struct {
 	Idx []int32
 	Val []float32
+
+	// Arena bookkeeping (zero for heap chunks): the owning arena, the
+	// epoch the chunk was handed out in, its storage size class (-1 for
+	// Wrap headers whose storage the arena does not own), and whether it
+	// has been recycled. See Arena.
+	owner    *Arena
+	birth    uint32
+	class    int8
+	recycled bool
 }
 
 // Len returns the number of non-zero entries in the chunk.
@@ -61,14 +70,7 @@ func (c *Chunk) Validate() error {
 // FromDense extracts the non-zero entries of dense[lo:hi) into a chunk with
 // absolute indices. Entries exactly equal to zero are skipped.
 func FromDense(dense []float32, lo, hi int) *Chunk {
-	c := &Chunk{}
-	for i := lo; i < hi; i++ {
-		if dense[i] != 0 {
-			c.Idx = append(c.Idx, int32(i))
-			c.Val = append(c.Val, dense[i])
-		}
-	}
-	return c
+	return (*Arena)(nil).FromDense(dense, lo, hi)
 }
 
 // FromMap builds a chunk from an index->value map, sorting indices.
@@ -81,7 +83,10 @@ func FromMap(m map[int32]float32) *Chunk {
 	for i := range m {
 		c.Idx = append(c.Idx, i)
 	}
-	sort.Slice(c.Idx, func(a, b int) bool { return c.Idx[a] < c.Idx[b] })
+	// slices.Sort (pdqsort over the concrete element type) instead of the
+	// closure-based sort.Slice: no per-call closure/interface allocation
+	// and no reflect-driven swaps on this hot construction path.
+	slices.Sort(c.Idx)
 	for _, i := range c.Idx {
 		c.Val = append(c.Val, m[i])
 	}
@@ -106,113 +111,23 @@ func (c *Chunk) SetInDense(dense []float32) {
 // values at indices present in both are summed. Both inputs are left
 // unmodified. Entries that sum to exactly zero are kept: dropping them would
 // silently lose residual mass and break conservation accounting.
-func MergeAdd(a, b *Chunk) *Chunk {
-	if a == nil || a.Len() == 0 {
-		if b == nil {
-			return &Chunk{}
-		}
-		return b.Clone()
-	}
-	if b == nil || b.Len() == 0 {
-		return a.Clone()
-	}
-	out := &Chunk{
-		Idx: make([]int32, 0, len(a.Idx)+len(b.Idx)),
-		Val: make([]float32, 0, len(a.Idx)+len(b.Idx)),
-	}
-	i, j := 0, 0
-	for i < len(a.Idx) && j < len(b.Idx) {
-		switch {
-		case a.Idx[i] < b.Idx[j]:
-			out.Idx = append(out.Idx, a.Idx[i])
-			out.Val = append(out.Val, a.Val[i])
-			i++
-		case a.Idx[i] > b.Idx[j]:
-			out.Idx = append(out.Idx, b.Idx[j])
-			out.Val = append(out.Val, b.Val[j])
-			j++
-		default:
-			out.Idx = append(out.Idx, a.Idx[i])
-			out.Val = append(out.Val, a.Val[i]+b.Val[j])
-			i++
-			j++
-		}
-	}
-	out.Idx = append(out.Idx, a.Idx[i:]...)
-	out.Val = append(out.Val, a.Val[i:]...)
-	out.Idx = append(out.Idx, b.Idx[j:]...)
-	out.Val = append(out.Val, b.Val[j:]...)
-	return out
-}
+func MergeAdd(a, b *Chunk) *Chunk { return (*Arena)(nil).MergeAdd(a, b) }
 
-// MergeAddAll merge-adds all chunks with a single k-way merge pass. Nil
+// MergeAddAll merge-adds all chunks with a single k-way merge pass (sharded
+// across goroutines for very large fan-ins — see Arena.MergeAddAll). Nil
 // entries are skipped; inputs are never mutated or aliased by the result.
 // One output allocation and one sweep over the union replace the repeated
 // pairwise merges a naive fold would do (O(total·m) copying).
-func MergeAddAll(chunks []*Chunk) *Chunk {
-	act := make([]*Chunk, 0, len(chunks))
-	total := 0
-	for _, c := range chunks {
-		if c != nil && c.Len() > 0 {
-			act = append(act, c)
-			total += c.Len()
-		}
-	}
-	switch len(act) {
-	case 0:
-		return &Chunk{}
-	case 1:
-		return act[0].Clone()
-	}
-	out := &Chunk{
-		Idx: make([]int32, 0, total),
-		Val: make([]float32, 0, total),
-	}
-	pos := make([]int, len(act))
-	for {
-		// Find the smallest pending index across the cursors; with the
-		// small fan-ins used here (≤P inputs) a linear scan beats a heap.
-		// The int64 sentinel keeps index MaxInt32 itself mergeable.
-		min := int64(math.MaxInt64)
-		for i, c := range act {
-			if pos[i] < len(c.Idx) && int64(c.Idx[pos[i]]) < min {
-				min = int64(c.Idx[pos[i]])
-			}
-		}
-		if min == math.MaxInt64 {
-			return out
-		}
-		var sum float32
-		for i, c := range act {
-			if pos[i] < len(c.Idx) && int64(c.Idx[pos[i]]) == min {
-				sum += c.Val[pos[i]]
-				pos[i]++
-			}
-		}
-		out.Idx = append(out.Idx, int32(min))
-		out.Val = append(out.Val, sum)
-	}
-}
+func MergeAddAll(chunks []*Chunk) *Chunk { return (*Arena)(nil).MergeAddAll(chunks) }
 
 // Concat concatenates chunks that cover pairwise-disjoint, ascending index
 // ranges (e.g. the per-block results of a reduce-scatter). It panics if the
 // inputs overlap or are out of order, because that indicates an algorithm
 // bug rather than a recoverable condition.
-func Concat(chunks []*Chunk) *Chunk {
-	out := &Chunk{}
-	last := int32(-1)
-	for _, c := range chunks {
-		if c == nil || c.Len() == 0 {
-			continue
-		}
-		if c.Idx[0] <= last {
-			panic(fmt.Sprintf("sparse: Concat inputs overlap or out of order (%d <= %d)", c.Idx[0], last))
-		}
-		out.Idx = append(out.Idx, c.Idx...)
-		out.Val = append(out.Val, c.Val...)
-		last = c.Idx[len(c.Idx)-1]
-	}
-	return out
+func Concat(chunks []*Chunk) *Chunk { return (*Arena)(nil).Concat(chunks) }
+
+func panicConcat(idx, last int32) {
+	panic(fmt.Sprintf("sparse: Concat inputs overlap or out of order (%d <= %d)", idx, last))
 }
 
 // Slice returns the sub-chunk with indices in [lo, hi). The returned chunk

@@ -2,28 +2,59 @@ package sparse
 
 import "sync"
 
-// densePool recycles full-length dense work vectors. One SparDL Reduce at
-// paper-like sizes (n=1M) needs two such vectors — the residual-augmented
-// accumulator and its snapshot — per worker per iteration; allocating them
-// fresh dominated the hot path's allocation volume (BENCH_reduce.json),
-// and byte-level transports add real encode/decode work on top, so the
-// scratch churn is pooled away.
-var densePool = sync.Pool{New: func() any { return new([]float32) }}
+// SlicePool recycles []T scratch whose lifetime is a single call. Values
+// travel inside recycled box structs: a naive sync.Pool of pointers
+// re-boxes (and so heap-allocates) on every Put, which would put one
+// allocation back on paths the arena work removed them from; cycling the
+// empty boxes through their own pool makes a steady-state Get/Put pair
+// allocation-free. The zero value is ready to use, and hand-offs across
+// goroutines are safe (sync.Pool orders them).
+type SlicePool[T any] struct {
+	vals  sync.Pool // holds *sliceBox[T] with a slice inside
+	boxes sync.Pool // holds empty *sliceBox[T]
+}
 
-// GetDense returns a length-n scratch vector with arbitrary contents.
-// Callers that need zeros must clear it; callers that overwrite the whole
-// vector (copy + add) need not. Pair with PutDense.
-func GetDense(n int) []float32 {
-	sp := densePool.Get().(*[]float32)
-	s := *sp
+type sliceBox[T any] struct{ s []T }
+
+// Get returns a length-n slice with arbitrary contents. Callers that need
+// zeros must clear it; callers that overwrite the whole slice need not.
+// Pair with Put.
+func (p *SlicePool[T]) Get(n int) []T {
+	b, _ := p.vals.Get().(*sliceBox[T])
+	if b == nil {
+		return make([]T, n)
+	}
+	s := b.s
+	b.s = nil
+	p.boxes.Put(b)
 	if cap(s) < n {
-		return make([]float32, n)
+		return make([]T, n)
 	}
 	return s[:n]
 }
 
-// PutDense hands a scratch vector back for reuse. The caller must not
-// retain any reference to it (including sub-slices or chunks aliasing it).
-func PutDense(s []float32) {
-	densePool.Put(&s)
+// Put hands a slice back for reuse. The caller must not retain any
+// reference to it (including sub-slices or chunks aliasing it).
+func (p *SlicePool[T]) Put(s []T) {
+	b, _ := p.boxes.Get().(*sliceBox[T])
+	if b == nil {
+		b = new(sliceBox[T])
+	}
+	b.s = s
+	p.vals.Put(b)
 }
+
+// densePool recycles dense scratch vectors — today the quickselect scratch
+// of every top-k/threshold selection (topk.go), which runs once per block
+// per SRS step on every worker. Longer-lived per-iteration vectors
+// (accumulator, snapshot, result) are persistent per-reducer state
+// instead, and chunk-shaped scratch comes from the Arena; the pool covers
+// the transient remainder.
+var densePool SlicePool[float32]
+
+// GetDense returns a length-n scratch vector with arbitrary contents; see
+// SlicePool.Get. Pair with PutDense.
+func GetDense(n int) []float32 { return densePool.Get(n) }
+
+// PutDense hands a scratch vector back for reuse; see SlicePool.Put.
+func PutDense(s []float32) { densePool.Put(s) }

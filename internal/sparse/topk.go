@@ -9,28 +9,10 @@ package sparse
 // of an R-SAG exchange, or all members of a team after B-SAG), otherwise
 // model replicas diverge.
 
-import "sync"
-
-// scratchPool recycles the quickselect scratch buffers. Selections run once
-// per block per SRS step on every worker, so at paper-like sizes (n=1M,
-// P=14) the per-call make([]float32, n) dominated allocation volume.
-var scratchPool = sync.Pool{New: func() any { return new([]float32) }}
-
-// getScratch returns a length-n scratch slice (contents arbitrary) and the
-// pool token to hand back to putScratch.
-func getScratch(n int) (*[]float32, []float32) {
-	sp := scratchPool.Get().(*[]float32)
-	s := *sp
-	if cap(s) < n {
-		s = make([]float32, n)
-	}
-	return sp, s[:n]
-}
-
-func putScratch(sp *[]float32, s []float32) {
-	*sp = s
-	scratchPool.Put(sp)
-}
+// The quickselect scratch buffers come from the package dense pool
+// (pool.go): selections run once per block per SRS step on every worker,
+// so at paper-like sizes (n=1M, P=14) a per-call make([]float32, n) would
+// dominate allocation volume.
 
 // kthLargestAbs returns the k-th largest absolute value in vals (1-based k)
 // using an in-place iterative quickselect with median-of-three pivoting.
@@ -94,20 +76,25 @@ func abs32(v float32) float32 {
 // k >= c.Len() the whole chunk is kept and dropped is empty. Both returned
 // chunks are freshly allocated and sorted by index.
 func TopKChunk(c *Chunk, k int) (kept, dropped *Chunk) {
+	return (*Arena)(nil).TopKChunk(c, k)
+}
+
+// TopKChunk is the arena-allocating variant of the package-level TopKChunk.
+func (a *Arena) TopKChunk(c *Chunk, k int) (kept, dropped *Chunk) {
 	n := c.Len()
 	if k >= n {
-		return c.Clone(), &Chunk{}
+		return a.Clone(c), a.Get(0)
 	}
 	if k <= 0 {
-		return &Chunk{}, c.Clone()
+		return a.Get(0), a.Clone(c)
 	}
-	sp, scratch := getScratch(n)
+	scratch := GetDense(n)
 	copy(scratch, c.Val)
 	thr := kthLargestAbs(scratch, k)
-	putScratch(sp, scratch)
+	PutDense(scratch)
 
-	kept = &Chunk{Idx: make([]int32, 0, k), Val: make([]float32, 0, k)}
-	dropped = &Chunk{Idx: make([]int32, 0, n-k), Val: make([]float32, 0, n-k)}
+	kept = a.Get(k)
+	dropped = a.Get(n - k)
 	// First pass: everything strictly above the threshold is kept.
 	strict := 0
 	for _, v := range c.Val {
@@ -138,9 +125,14 @@ func TopKChunk(c *Chunk, k int) (kept, dropped *Chunk) {
 // Zeros are never selected (they carry no gradient information), so the
 // result may hold fewer than k entries for very sparse inputs.
 func TopKDense(dense []float32, lo, hi, k int) *Chunk {
+	return (*Arena)(nil).TopKDense(dense, lo, hi, k)
+}
+
+// TopKDense is the arena-allocating variant of the package-level TopKDense.
+func (a *Arena) TopKDense(dense []float32, lo, hi, k int) *Chunk {
 	n := hi - lo
 	if n <= 0 || k <= 0 {
-		return &Chunk{}
+		return a.Get(0)
 	}
 	nz := 0
 	for i := lo; i < hi; i++ {
@@ -149,21 +141,20 @@ func TopKDense(dense []float32, lo, hi, k int) *Chunk {
 		}
 	}
 	if nz == 0 {
-		return &Chunk{}
+		return a.Get(0)
 	}
 	if k >= nz {
-		return FromDense(dense, lo, hi)
+		return a.FromDense(dense, lo, hi)
 	}
-	sp, scratch := getScratch(nz)
-	scratch = scratch[:0]
+	scratch := GetDense(nz)[:0]
 	for i := lo; i < hi; i++ {
 		if dense[i] != 0 {
 			scratch = append(scratch, dense[i])
 		}
 	}
 	thr := kthLargestAbs(scratch, k)
-	putScratch(sp, scratch[:nz])
-	out := &Chunk{Idx: make([]int32, 0, k), Val: make([]float32, 0, k)}
+	PutDense(scratch)
+	out := a.Get(k)
 	strict := 0
 	for i := lo; i < hi; i++ {
 		if abs32(dense[i]) > thr {
@@ -193,8 +184,20 @@ func TopKDense(dense []float32, lo, hi, k int) *Chunk {
 // rest (dropped). This is the "threshold pruning" primitive Ok-Topk uses in
 // place of exact top-k; the number of kept entries is data-dependent.
 func ThresholdChunk(c *Chunk, thr float32) (kept, dropped *Chunk) {
-	kept = &Chunk{}
-	dropped = &Chunk{}
+	return (*Arena)(nil).ThresholdChunk(c, thr)
+}
+
+// ThresholdChunk is the arena-allocating variant of the package-level
+// ThresholdChunk: one counting pass sizes both outputs exactly.
+func (a *Arena) ThresholdChunk(c *Chunk, thr float32) (kept, dropped *Chunk) {
+	nk := 0
+	for _, v := range c.Val {
+		if abs32(v) >= thr {
+			nk++
+		}
+	}
+	kept = a.Get(nk)
+	dropped = a.Get(c.Len() - nk)
 	for i, v := range c.Val {
 		if abs32(v) >= thr {
 			kept.Idx = append(kept.Idx, c.Idx[i])
@@ -209,7 +212,19 @@ func ThresholdChunk(c *Chunk, thr float32) (kept, dropped *Chunk) {
 
 // ThresholdDense extracts entries of dense[lo:hi) with |value| >= thr.
 func ThresholdDense(dense []float32, lo, hi int, thr float32) *Chunk {
-	out := &Chunk{}
+	return (*Arena)(nil).ThresholdDense(dense, lo, hi, thr)
+}
+
+// ThresholdDense is the arena-allocating variant of the package-level
+// ThresholdDense.
+func (a *Arena) ThresholdDense(dense []float32, lo, hi int, thr float32) *Chunk {
+	nk := 0
+	for i := lo; i < hi; i++ {
+		if v := dense[i]; v != 0 && abs32(v) >= thr {
+			nk++
+		}
+	}
+	out := a.Get(nk)
 	for i := lo; i < hi; i++ {
 		if v := dense[i]; v != 0 && abs32(v) >= thr {
 			out.Idx = append(out.Idx, int32(i))
@@ -223,8 +238,7 @@ func ThresholdDense(dense []float32, lo, hi int, thr float32) *Chunk {
 // of dense (1-based). It returns 0 when there are fewer than k non-zeros.
 // Ok-Topk uses this to calibrate its pruning threshold.
 func KthLargestAbs(dense []float32, k int) float32 {
-	sp, vals := getScratch(len(dense))
-	vals = vals[:0]
+	vals := GetDense(len(dense))[:0]
 	for _, v := range dense {
 		if v != 0 {
 			vals = append(vals, v)
@@ -234,6 +248,6 @@ func KthLargestAbs(dense []float32, k int) float32 {
 	if k >= 1 && len(vals) >= k {
 		thr = kthLargestAbs(vals, k)
 	}
-	putScratch(sp, vals[:cap(vals)])
+	PutDense(vals)
 	return thr
 }

@@ -19,8 +19,15 @@ func NewDense(p, rank, n, k int) Reducer { return DenseAllReduce{} }
 func (DenseAllReduce) Name() string { return "Dense" }
 
 // Reduce implements Reducer.
-func (DenseAllReduce) Reduce(ep comm.Endpoint, grad []float32) []float32 {
+func (d DenseAllReduce) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 	out := make([]float32, len(grad))
+	d.ReduceInto(ep, grad, out)
+	return out
+}
+
+// ReduceInto implements InPlaceReducer: the dense collectives already run
+// in place, so the only per-call allocation to avoid was the result.
+func (DenseAllReduce) ReduceInto(ep comm.Endpoint, grad, out []float32) {
 	copy(out, grad)
 	ChargeMerge(ep, len(grad))
 	if p := ep.P(); p&(p-1) == 0 {
@@ -28,5 +35,4 @@ func (DenseAllReduce) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 	} else {
 		collective.RingAllReduce(ep, out)
 	}
-	return out
 }

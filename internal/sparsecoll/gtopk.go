@@ -25,6 +25,7 @@ type GTopk struct {
 	n, k     int
 	residual []float32
 	tx       wire.Transport
+	scratch
 }
 
 // NewGTopk builds the gTopk reducer for one worker. It panics if P is not
@@ -33,20 +34,32 @@ func NewGTopk(p, rank, n, k int) Reducer {
 	if p&(p-1) != 0 {
 		panic(fmt.Sprintf("sparsecoll: gTopk requires power-of-two workers, got %d", p))
 	}
-	return &GTopk{n: n, k: k, residual: make([]float32, n)}
+	g := &GTopk{n: n, k: k, residual: make([]float32, n), scratch: newScratch(n)}
+	g.tx.Arena = g.ar
+	return g
 }
 
 // Name implements Reducer.
 func (g *GTopk) Name() string { return wireName("gTopk", g.tx) }
 
-func (g *GTopk) setWire(tx wire.Transport) { g.tx = tx }
+func (g *GTopk) setWire(tx wire.Transport) {
+	tx.Arena = g.ar
+	g.tx = tx
+}
 
 // Reduce implements Reducer.
 func (g *GTopk) Reduce(ep comm.Endpoint, grad []float32) []float32 {
-	acc, _ := accumulate(grad, g.residual)
+	out := make([]float32, g.n)
+	g.ReduceInto(ep, grad, out)
+	return out
+}
+
+// ReduceInto implements InPlaceReducer; steady state is allocation-free.
+func (g *GTopk) ReduceInto(ep comm.Endpoint, grad, out []float32) {
+	acc, _ := g.accumulate(grad, g.residual)
 	p, me := ep.P(), ep.Rank()
 
-	local := sparse.TopKDense(acc, 0, g.n, g.k)
+	local := g.ar.TopKDense(acc, 0, g.n, g.k)
 	ChargeScan(ep, g.n)
 
 	// Reduction tree: at level dist, workers whose rank is an odd multiple
@@ -63,9 +76,18 @@ func (g *GTopk) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 		in, _ := ep.Recv(me + dist)
 		got := g.tx.Unpack(in)
 		ChargeMerge(ep, got.Len()+cur.Len())
-		merged := sparse.MergeAdd(cur, got)
-		cur, _ = sparse.TopKChunk(merged, g.k)
+		merged := g.ar.MergeAdd(cur, got)
+		// local survives for the residual bookkeeping below; intermediate
+		// selections are local-only (a worker that received at this level
+		// did not send) and can be recycled as soon as they are merged.
+		if cur != local {
+			g.ar.Recycle(cur)
+		}
+		kept, dropped := g.ar.TopKChunk(merged, g.k)
 		ChargeScan(ep, merged.Len())
+		g.ar.Recycle(merged)
+		g.ar.Recycle(dropped)
+		cur = kept
 	}
 
 	// Broadcast tree (reverse): rank 0 holds the global top-k; each worker
@@ -89,17 +111,18 @@ func (g *GTopk) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 	}
 
 	// PRES residual: zero only where our local selection made the global
-	// set; everything else (including in-tree discards) stays local.
+	// set; everything else (including in-tree discards) stays local. Both
+	// index sets are sorted, so a binary search replaces the per-iteration
+	// membership map.
 	copy(g.residual, acc)
-	globalSet := make(map[int32]struct{}, global.Len())
-	for _, idx := range global.Idx {
-		globalSet[idx] = struct{}{}
-	}
 	for _, idx := range local.Idx {
-		if _, ok := globalSet[idx]; ok {
+		if containsIdx(global.Idx, idx) {
 			g.residual[idx] = 0
 		}
 	}
 
-	return scatterChunks(g.n, []*sparse.Chunk{global})
+	for i := range out {
+		out[i] = 0
+	}
+	global.AddToDense(out)
 }

@@ -33,6 +33,7 @@ type OkTopk struct {
 	n, k     int
 	part     *sparse.Partition
 	residual []float32
+	world    []int
 	// target is the adaptive local selection size: the threshold is set at
 	// the target-th largest local magnitude, and target is steered so the
 	// global selected count tracks k. Controlling the quantile *index*
@@ -41,6 +42,7 @@ type OkTopk struct {
 	target float64
 	iter   int
 	tx     wire.Transport
+	scratch
 }
 
 // RebalanceEvery matches the original implementation's cadence: local
@@ -65,13 +67,19 @@ func NewOkTopk(p, rank, n, k int) Reducer {
 	if t < 1 {
 		t = 1
 	}
-	return &OkTopk{n: n, k: k, part: sparse.NewPartition(n, p), residual: make([]float32, n), target: t}
+	o := &OkTopk{n: n, k: k, part: sparse.NewPartition(n, p), residual: make([]float32, n),
+		world: collective.WorldRanks(p), target: t, scratch: newScratch(n)}
+	o.tx.Arena = o.ar
+	return o
 }
 
 // Name implements Reducer.
 func (o *OkTopk) Name() string { return wireName("OkTopk", o.tx) }
 
-func (o *OkTopk) setWire(tx wire.Transport) { o.tx = tx }
+func (o *OkTopk) setWire(tx wire.Transport) {
+	tx.Arena = o.ar
+	o.tx = tx
+}
 
 // okItem carries a worker's reduced block plus any overflow chunks shifted
 // to it by the balancing step, already transport-packed; bytes is fixed by
@@ -89,9 +97,21 @@ func (o *OkTopk) packInto(item *okItem, c *sparse.Chunk) {
 
 func okItemBytes(it any) int { return it.(*okItem).bytes }
 
+// countBytes sizes the 4-byte per-worker selection counts of the
+// balancing all-gather. (A capture-free closure literal would compile to
+// the same static funcval; the name just reads better at the call site.)
+func countBytes(any) int { return 4 }
+
 // Reduce implements Reducer.
 func (o *OkTopk) Reduce(ep comm.Endpoint, grad []float32) []float32 {
-	acc, snapshot := accumulate(grad, o.residual)
+	out := make([]float32, o.n)
+	o.ReduceInto(ep, grad, out)
+	return out
+}
+
+// ReduceInto implements InPlaceReducer; steady state is allocation-free.
+func (o *OkTopk) ReduceInto(ep comm.Endpoint, grad, out []float32) {
+	acc, snapshot := o.accumulate(grad, o.residual)
 	p, me := ep.P(), ep.Rank()
 	o.iter++
 
@@ -106,22 +126,18 @@ func (o *OkTopk) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 	}
 
 	// 1. Threshold pruning (count is data-dependent, not exactly k).
-	local := sparse.ThresholdDense(acc, 0, o.n, thr)
+	local := o.ar.ThresholdDense(acc, 0, o.n, thr)
 	ChargeScan(ep, o.n)
-	localSet := make(map[int32]struct{}, local.Len())
-	for _, idx := range local.Idx {
-		localSet[idx] = struct{}{}
-	}
 
 	// 2. Direct-send reduce-scatter.
-	pieces := o.part.Split(local)
+	pieces := o.ar.Split(o.part, local)
 	for j := 0; j < p; j++ {
 		if j != me {
-			pk, bytes := o.tx.Pack(pieces[j].Clone())
+			pk, bytes := o.tx.Pack(o.ar.Clone(pieces[j]))
 			ep.Send(j, pk, bytes)
 		}
 	}
-	got := make([]*sparse.Chunk, 0, p)
+	got := o.ar.Chunks(p)
 	got = append(got, pieces[me])
 	received := 0
 	for j := 0; j < p; j++ {
@@ -134,34 +150,35 @@ func (o *OkTopk) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 		got = append(got, c)
 	}
 	ChargeMerge(ep, received)
-	mine := sparse.MergeAddAll(got)
+	merged := o.ar.MergeAddAll(got)
 
 	// 3. Prune the merged block with the same threshold. Entries are
 	// dropped as whole sums, so every contributor retains its own share in
 	// its residual snapshot (end-procedure collection).
-	mine, _ = sparse.ThresholdChunk(mine, thr)
+	mine, pruned := o.ar.ThresholdChunk(merged, thr)
 	ChargeScan(ep, mine.Len())
+	o.ar.Recycle(merged)
+	o.ar.Recycle(pruned)
 
 	// 4. Balancing traffic: all-gather block counts, then shift overflow
 	// from oversized blocks to the successor worker. All workers see the
 	// same counts, so sender/receiver decisions agree without extra sync.
-	world := collective.WorldRanks(p)
-	countItems := collective.BruckAllGather(ep, world, me, mine.Len(), func(any) int { return 4 })
+	world := o.world
+	countItems := collective.BruckAllGatherAlloc(ep, world, me, mine.Len(), countBytes, o.ar)
 	if p > 1 {
-		counts := make([]int, p)
 		total := 0
-		for i, it := range countItems {
-			counts[i] = it.(int)
-			total += counts[i]
+		for _, it := range countItems {
+			total += it.(int)
 		}
 		mean := total / p
 		limit := 2*mean + 1
-		overflow := func(j int) bool { return counts[j] > limit }
-		item := &okItem{}
 		prev := (me + p - 1) % p
-		if overflow(me) {
+		myOverflow := countItems[me].(int) > limit
+		prevOverflow := countItems[prev].(int) > limit
+		item := &okItem{}
+		if myOverflow {
 			// Keep the `limit` largest entries, ship the rest onward.
-			kept, extra := sparse.TopKChunk(mine, limit)
+			kept, extra := o.ar.TopKChunk(mine, limit)
 			ChargeScan(ep, mine.Len())
 			o.packInto(item, kept)
 			pk, bytes := o.tx.Pack(extra)
@@ -169,7 +186,7 @@ func (o *OkTopk) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 		} else {
 			o.packInto(item, mine)
 		}
-		if overflow(prev) {
+		if prevOverflow {
 			// Forward the received payload as-is: it is already packed and
 			// its charged size is exactly what the sender accounted.
 			in, bytes := ep.Recv(prev)
@@ -178,8 +195,8 @@ func (o *OkTopk) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 		}
 
 		// 5. All-gather the (re-balanced) blocks.
-		items := collective.BruckAllGather(ep, world, me, item, okItemBytes)
-		var all []*sparse.Chunk
+		items := collective.BruckAllGatherAlloc(ep, world, me, item, okItemBytes, o.ar)
+		all := o.ar.Chunks(len(items))
 		for _, it := range items {
 			for _, pk := range it.(*okItem).payloads {
 				all = append(all, o.tx.Unpack(pk))
@@ -190,25 +207,28 @@ func (o *OkTopk) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 			mergedTotal += c.Len()
 		}
 		ChargeMerge(ep, mergedTotal)
-		out := scatterChunks(o.n, all)
-		o.finish(acc, snapshot, localSet, out, mergedTotal)
-		return out
+		scatterInto(out, all)
+		o.finish(acc, snapshot, local, out, mergedTotal)
+		return
 	}
 
-	out := scatterChunks(o.n, []*sparse.Chunk{mine})
-	o.finish(acc, snapshot, localSet, out, mine.Len())
-	return out
+	for i := range out {
+		out[i] = 0
+	}
+	mine.AddToDense(out)
+	o.finish(acc, snapshot, local, out, mine.Len())
 }
 
 // finish updates the PRES residual and adapts the selection target toward a
-// global selection count of k.
-func (o *OkTopk) finish(acc, snapshot []float32, localSet map[int32]struct{}, out []float32, selected int) {
+// global selection count of k. local is this worker's sorted selection;
+// binary search replaces the per-iteration membership map.
+func (o *OkTopk) finish(acc, snapshot []float32, local *sparse.Chunk, out []float32, selected int) {
 	copy(o.residual, snapshot)
 	for i, v := range out {
 		if v == 0 {
 			continue
 		}
-		if _, ok := localSet[int32(i)]; ok {
+		if containsIdx(local.Idx, int32(i)) {
 			o.residual[i] = 0
 		}
 	}

@@ -29,6 +29,30 @@ type Reducer interface {
 // synchronizes length-n gradients, keeping k global entries per iteration.
 type Factory func(p, rank, n, k int) Reducer
 
+// InPlaceReducer is the steady-state variant of Reducer: ReduceInto writes
+// the synchronized global gradient into out (len n, fully overwritten)
+// instead of allocating a result per call. Every reducer in this
+// repository implements it; combined with the per-reducer chunk arenas the
+// whole reduce pipeline runs allocation-free once warm. Reduce and
+// ReduceInto are interchangeable — Reduce is ReduceInto plus one result
+// allocation the caller owns.
+type InPlaceReducer interface {
+	Reducer
+	ReduceInto(ep comm.Endpoint, grad, out []float32)
+}
+
+// ReduceInto synchronizes grad into out via r's in-place path when it has
+// one, falling back to copying from Reduce. Steady-state loops (trainer,
+// benchmarks) route through this helper so third-party Reducers keep
+// working unchanged.
+func ReduceInto(r Reducer, ep comm.Endpoint, grad, out []float32) {
+	if ir, ok := r.(InPlaceReducer); ok {
+		ir.ReduceInto(ep, grad, out)
+		return
+	}
+	copy(out, r.Reduce(ep, grad))
+}
+
 // wireConfigurable is implemented by reducers whose message transport can
 // be switched away from the COO accounting baseline.
 type wireConfigurable interface {
@@ -83,27 +107,58 @@ func ChargeMerge(ep comm.Endpoint, n int) {
 	ep.Compute(DefaultCompCost.PerEntryMerge * float64(n))
 }
 
-// accumulate adds the stored residual into grad and returns the working
-// copy plus a snapshot (the "G_copy" of Algorithm 1) used for residual
-// bookkeeping at the end of the iteration.
-func accumulate(grad, residual []float32) (acc, snapshot []float32) {
-	acc = make([]float32, len(grad))
+// scratch is the per-reducer steady-state working set shared by every
+// baseline method: the chunk arena plus the two dense vectors each
+// iteration needs. Embedding it gives a reducer persistent, allocation-
+// free per-call scratch.
+type scratch struct {
+	ar              *sparse.Arena
+	accBuf, snapBuf []float32
+}
+
+func newScratch(n int) scratch {
+	return scratch{ar: sparse.NewArena(), accBuf: make([]float32, n), snapBuf: make([]float32, n)}
+}
+
+// accumulate starts an iteration: a new arena epoch, then grad+residual
+// into the persistent working vector with a snapshot (the "G_copy" of
+// Algorithm 1) for residual bookkeeping at the end.
+func (s *scratch) accumulate(grad, residual []float32) (acc, snapshot []float32) {
+	s.ar.Reset()
+	acc, snapshot = s.accBuf, s.snapBuf
 	copy(acc, grad)
 	for i, r := range residual {
 		acc[i] += r
 	}
-	snapshot = make([]float32, len(acc))
 	copy(snapshot, acc)
 	return acc, snapshot
 }
 
-// scatterChunks densifies reduced chunks into a fresh vector of length n.
-func scatterChunks(n int, chunks []*sparse.Chunk) []float32 {
-	out := make([]float32, n)
+// scatterInto densifies reduced chunks into out, overwriting it fully.
+func scatterInto(out []float32, chunks []*sparse.Chunk) {
+	for i := range out {
+		out[i] = 0
+	}
 	for _, c := range chunks {
 		if c != nil {
 			c.AddToDense(out)
 		}
 	}
-	return out
+}
+
+// containsIdx reports whether the sorted index slice holds idx — the
+// allocation-free replacement for the per-iteration membership maps the
+// residual bookkeeping used to build (selection indices are sorted, so
+// binary search suffices).
+func containsIdx(sorted []int32, idx int32) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < idx {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == idx
 }

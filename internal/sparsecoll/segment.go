@@ -56,7 +56,9 @@ func (s *SegmentReducer) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 
 // ReduceInto synchronizes flat[Lo:Hi) and writes the global sub-gradient
 // into out[Lo:Hi); the rest of out is untouched, so per-bucket calls
-// assemble the full global gradient in place.
+// assemble the full global gradient in place. It routes through the inner
+// reducer's in-place path, so a steady-state pipeline iteration performs
+// no per-bucket allocation.
 func (s *SegmentReducer) ReduceInto(ep comm.Endpoint, flat, out []float32) {
-	copy(out[s.Lo:s.Hi], s.inner.Reduce(ep, flat[s.Lo:s.Hi]))
+	ReduceInto(s.inner, ep, flat[s.Lo:s.Hi], out[s.Lo:s.Hi])
 }

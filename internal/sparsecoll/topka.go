@@ -3,7 +3,6 @@ package sparsecoll
 import (
 	"spardl/internal/collective"
 	"spardl/internal/comm"
-	"spardl/internal/sparse"
 	"spardl/internal/wire"
 )
 
@@ -19,24 +18,39 @@ import (
 type TopkA struct {
 	n, k     int
 	residual []float32
+	world    []int
 	tx       wire.Transport
+	scratch
 }
 
 // NewTopkA builds the TopkA reducer for one worker.
 func NewTopkA(p, rank, n, k int) Reducer {
-	return &TopkA{n: n, k: k, residual: make([]float32, n)}
+	t := &TopkA{n: n, k: k, residual: make([]float32, n),
+		world: collective.WorldRanks(p), scratch: newScratch(n)}
+	t.tx.Arena = t.ar
+	return t
 }
 
 // Name implements Reducer.
 func (t *TopkA) Name() string { return wireName("TopkA", t.tx) }
 
-func (t *TopkA) setWire(tx wire.Transport) { t.tx = tx }
+func (t *TopkA) setWire(tx wire.Transport) {
+	tx.Arena = t.ar
+	t.tx = tx
+}
 
 // Reduce implements Reducer.
 func (t *TopkA) Reduce(ep comm.Endpoint, grad []float32) []float32 {
-	acc, _ := accumulate(grad, t.residual)
+	out := make([]float32, t.n)
+	t.ReduceInto(ep, grad, out)
+	return out
+}
 
-	local := sparse.TopKDense(acc, 0, t.n, t.k)
+// ReduceInto implements InPlaceReducer; steady state is allocation-free.
+func (t *TopkA) ReduceInto(ep comm.Endpoint, grad, out []float32) {
+	acc, _ := t.accumulate(grad, t.residual)
+
+	local := t.ar.TopKDense(acc, 0, t.n, t.k)
 	ChargeScan(ep, t.n)
 
 	// LRES: everything not selected locally stays as residual.
@@ -45,17 +59,17 @@ func (t *TopkA) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 		t.residual[idx] = 0
 	}
 
-	p := ep.P()
 	own := t.tx.PackItem(local)
-	items := collective.BruckAllGather(ep, collective.WorldRanks(p), ep.Rank(), own, t.tx.ItemBytes)
-	chunks := make([]*sparse.Chunk, len(items))
+	items := collective.BruckAllGatherAlloc(ep, t.world, ep.Rank(), own, t.tx.ItemBytes, t.ar)
+	chunks := t.ar.Chunks(len(items))
 	total := 0
-	for i, it := range items {
-		chunks[i] = t.tx.Unpack(it)
-		total += chunks[i].Len()
+	for _, it := range items {
+		c := t.tx.Unpack(it)
+		chunks = append(chunks, c)
+		total += c.Len()
 	}
 	ChargeMerge(ep, total)
 	// The union may hold up to P·k distinct indices — TopkA simply accepts
 	// the densification (the SGA growth happens locally, not on the wire).
-	return scatterChunks(t.n, chunks)
+	scatterInto(out, chunks)
 }

@@ -21,19 +21,27 @@ type TopkDSA struct {
 	n, k     int
 	residual []float32
 	part     *sparse.Partition
+	world    []int
 	tx       wire.Transport
+	scratch
 }
 
 // NewTopkDSA builds the TopkDSA reducer for one worker of a P-worker
 // cluster.
 func NewTopkDSA(p, rank, n, k int) Reducer {
-	return &TopkDSA{n: n, k: k, residual: make([]float32, n), part: sparse.NewPartition(n, p)}
+	t := &TopkDSA{n: n, k: k, residual: make([]float32, n), part: sparse.NewPartition(n, p),
+		world: collective.WorldRanks(p), scratch: newScratch(n)}
+	t.tx.Arena = t.ar
+	return t
 }
 
 // Name implements Reducer.
 func (t *TopkDSA) Name() string { return wireName("TopkDSA", t.tx) }
 
-func (t *TopkDSA) setWire(tx wire.Transport) { t.tx = tx }
+func (t *TopkDSA) setWire(tx wire.Transport) {
+	tx.Arena = t.ar
+	t.tx = tx
+}
 
 // dsaBlock is an all-gather item: a reduced block that travels in sparse
 // form until the dense encoding of its index range is cheaper (the "switch
@@ -49,10 +57,17 @@ func dsaItemBytes(it any) int { return it.(*dsaBlock).bytes }
 
 // Reduce implements Reducer.
 func (t *TopkDSA) Reduce(ep comm.Endpoint, grad []float32) []float32 {
-	acc, _ := accumulate(grad, t.residual)
+	out := make([]float32, t.n)
+	t.ReduceInto(ep, grad, out)
+	return out
+}
+
+// ReduceInto implements InPlaceReducer; steady state is allocation-free.
+func (t *TopkDSA) ReduceInto(ep comm.Endpoint, grad, out []float32) {
+	acc, _ := t.accumulate(grad, t.residual)
 	p, me := ep.P(), ep.Rank()
 
-	local := sparse.TopKDense(acc, 0, t.n, t.k)
+	local := t.ar.TopKDense(acc, 0, t.n, t.k)
 	ChargeScan(ep, t.n)
 	copy(t.residual, acc)
 	for _, idx := range local.Idx {
@@ -61,14 +76,14 @@ func (t *TopkDSA) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 
 	// Reduce-scatter by direct sends: piece j of my selection goes straight
 	// to worker j.
-	pieces := t.part.Split(local)
+	pieces := t.ar.Split(t.part, local)
 	for j := 0; j < p; j++ {
 		if j != me {
-			pk, bytes := t.tx.Pack(pieces[j].Clone())
+			pk, bytes := t.tx.Pack(t.ar.Clone(pieces[j]))
 			ep.Send(j, pk, bytes)
 		}
 	}
-	got := make([]*sparse.Chunk, 0, p)
+	got := t.ar.Chunks(p)
 	got = append(got, pieces[me])
 	total := 0
 	for j := 0; j < p; j++ {
@@ -81,7 +96,7 @@ func (t *TopkDSA) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 		got = append(got, c)
 	}
 	ChargeMerge(ep, total)
-	mine := sparse.MergeAddAll(got)
+	mine := t.ar.MergeAddAll(got)
 
 	// All-gather the uneven reduced blocks (SGA allowed; dense switch per
 	// block caps the wire size).
@@ -91,13 +106,15 @@ func (t *TopkDSA) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 		bytes = db
 	}
 	own := &dsaBlock{block: me, payload: pk, bytes: bytes}
-	items := collective.BruckAllGather(ep, collective.WorldRanks(p), me, own, dsaItemBytes)
-	chunks := make([]*sparse.Chunk, len(items))
+	items := collective.BruckAllGatherAlloc(ep, t.world, me, own, dsaItemBytes, t.ar)
+	chunks := t.ar.Chunks(len(items))
+	for _, it := range items {
+		chunks = append(chunks, t.tx.Unpack(it.(*dsaBlock).payload))
+	}
 	total = 0
-	for i, it := range items {
-		chunks[i] = t.tx.Unpack(it.(*dsaBlock).payload)
-		total += chunks[i].Len()
+	for _, c := range chunks {
+		total += c.Len()
 	}
 	ChargeMerge(ep, total)
-	return scatterChunks(t.n, chunks)
+	scatterInto(out, chunks)
 }

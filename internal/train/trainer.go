@@ -159,6 +159,7 @@ func Run(cfg Config) *Result {
 		var global []float32
 		if cfg.Pipeline == nil {
 			reducer = cfg.Factory(cfg.P, rank, n, k)
+			global = make([]float32, n)
 			if rank == 0 {
 				res.Method = reducer.Name()
 			}
@@ -183,7 +184,10 @@ func Run(cfg Config) *Result {
 			if sched == nil {
 				nn.FlattenGrads(model.Params(), flat)
 				ep.Compute(c.ComputeTime * skew) // simulated forward+backward time
-				global = reducer.Reduce(ep, flat)
+				// In-place synchronization into the per-worker result
+				// vector: the reduce pipeline allocates nothing at steady
+				// state (arena chunks + persistent dense scratch).
+				sparsecoll.ReduceInto(reducer, ep, flat, global)
 			} else {
 				// Schedule.Run charges the forward+backward compute itself,
 				// bucket by bucket, overlapping each bucket's all-reduce

@@ -24,6 +24,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"slices"
 
 	"spardl/internal/sparse"
 )
@@ -97,8 +98,16 @@ func Range(c *sparse.Chunk) (lo, hi int32) {
 
 // EncodeCOO encodes the chunk as index/value pairs over [lo, hi).
 func EncodeCOO(c *sparse.Chunk, lo, hi int32) []byte {
+	return AppendCOO(nil, c, lo, hi)
+}
+
+// AppendCOO appends the COO encoding to dst and returns the extended
+// buffer, so callers with pooled storage avoid the per-message allocation.
+func AppendCOO(dst []byte, c *sparse.Chunk, lo, hi int32) []byte {
 	mustRange(c, lo, hi)
-	buf := make([]byte, COOBytes(c.Len()))
+	base := len(dst)
+	dst = appendZeros(dst, COOBytes(c.Len()))
+	buf := dst[base:]
 	writeHeader(buf, FormatCOO, c.Len(), lo, hi)
 	off := headerBytes
 	for i := range c.Idx {
@@ -106,35 +115,57 @@ func EncodeCOO(c *sparse.Chunk, lo, hi int32) []byte {
 		binary.LittleEndian.PutUint32(buf[off+4:], math.Float32bits(c.Val[i]))
 		off += 8
 	}
-	return buf
+	return dst
+}
+
+// appendZeros extends dst by n zero bytes (reusing capacity when present).
+func appendZeros(dst []byte, n int) []byte {
+	dst = slices.Grow(dst, n)
+	head := len(dst)
+	dst = dst[:head+n]
+	clear(dst[head:])
+	return dst
 }
 
 // EncodeDelta encodes sorted indices as varint gaps (relative to lo) plus
 // packed values.
 func EncodeDelta(c *sparse.Chunk, lo, hi int32) []byte {
+	return AppendDelta(nil, c, lo, hi)
+}
+
+// AppendDelta appends the delta encoding to dst.
+func AppendDelta(dst []byte, c *sparse.Chunk, lo, hi int32) []byte {
 	mustRange(c, lo, hi)
-	buf := make([]byte, headerBytes, headerBytes+5*c.Len()+4*c.Len())
-	writeHeader(buf, FormatDelta, c.Len(), lo, hi)
+	base := len(dst)
+	dst = appendZeros(dst, headerBytes)
+	writeHeader(dst[base:], FormatDelta, c.Len(), lo, hi)
 	prev := lo
 	var tmp [binary.MaxVarintLen32]byte
 	for _, idx := range c.Idx {
 		n := binary.PutUvarint(tmp[:], uint64(idx-prev))
-		buf = append(buf, tmp[:n]...)
+		dst = append(dst, tmp[:n]...)
 		prev = idx
 	}
 	for _, v := range c.Val {
 		var vb [4]byte
 		binary.LittleEndian.PutUint32(vb[:], math.Float32bits(v))
-		buf = append(buf, vb[:]...)
+		dst = append(dst, vb[:]...)
 	}
-	return buf
+	return dst
 }
 
 // EncodeBitmap encodes presence bits over [lo, hi) plus packed values.
 func EncodeBitmap(c *sparse.Chunk, lo, hi int32) []byte {
+	return AppendBitmap(nil, c, lo, hi)
+}
+
+// AppendBitmap appends the bitmap encoding to dst.
+func AppendBitmap(dst []byte, c *sparse.Chunk, lo, hi int32) []byte {
 	mustRange(c, lo, hi)
 	span := int(hi - lo)
-	buf := make([]byte, BitmapBytes(span, c.Len()))
+	base := len(dst)
+	dst = appendZeros(dst, BitmapBytes(span, c.Len()))
+	buf := dst[base:]
 	writeHeader(buf, FormatBitmap, c.Len(), lo, hi)
 	bits := buf[headerBytes : headerBytes+(span+7)/8]
 	off := headerBytes + (span+7)/8
@@ -143,7 +174,7 @@ func EncodeBitmap(c *sparse.Chunk, lo, hi int32) []byte {
 		bits[rel/8] |= 1 << (rel % 8)
 		binary.LittleEndian.PutUint32(buf[off+4*i:], math.Float32bits(c.Val[i]))
 	}
-	return buf
+	return dst
 }
 
 // EncodedBytes returns the size and format Encode would pick for a chunk
@@ -164,19 +195,40 @@ func EncodedBytes(c *sparse.Chunk, lo, hi int32) (int, Format) {
 // Encode picks the smallest of the three encodings for a chunk whose
 // indices lie in [lo, hi) and returns the buffer and chosen format.
 func Encode(c *sparse.Chunk, lo, hi int32) ([]byte, Format) {
+	return AppendEncode(nil, c, lo, hi)
+}
+
+// AppendEncode appends the smallest of the three encodings to dst —
+// the allocation-free path byte-level transports and pooled send buffers
+// use.
+func AppendEncode(dst []byte, c *sparse.Chunk, lo, hi int32) ([]byte, Format) {
 	_, format := EncodedBytes(c, lo, hi)
+	return AppendFormat(dst, c, lo, hi, format), format
+}
+
+// AppendFormat appends the given encoding to dst. Callers that already
+// ran EncodedBytes (to size a buffer) pass its format here instead of
+// letting AppendEncode re-derive it — EncodedBytes walks every index for
+// the delta sizing, and the hot path must not pay that scan twice.
+func AppendFormat(dst []byte, c *sparse.Chunk, lo, hi int32, format Format) []byte {
 	switch format {
 	case FormatCOO:
-		return EncodeCOO(c, lo, hi), format
+		return AppendCOO(dst, c, lo, hi)
 	case FormatBitmap:
-		return EncodeBitmap(c, lo, hi), format
+		return AppendBitmap(dst, c, lo, hi)
 	default:
-		return EncodeDelta(c, lo, hi), format
+		return AppendDelta(dst, c, lo, hi)
 	}
 }
 
-// Decode reverses any of the three encodings.
+// Decode reverses any of the three encodings into a heap chunk.
 func Decode(buf []byte) (*sparse.Chunk, error) {
+	return DecodeArena(nil, buf)
+}
+
+// DecodeArena reverses any of the three encodings, allocating the decoded
+// chunk from the receiver's arena (heap when a is nil).
+func DecodeArena(a *sparse.Arena, buf []byte) (*sparse.Chunk, error) {
 	if len(buf) < headerBytes {
 		return nil, fmt.Errorf("wire: truncated header (%d bytes)", len(buf))
 	}
@@ -193,10 +245,7 @@ func Decode(buf []byte) (*sparse.Chunk, error) {
 	if lo < 0 || hi < lo {
 		return nil, fmt.Errorf("wire: invalid range [%d, %d)", lo, hi)
 	}
-	c := &sparse.Chunk{
-		Idx: make([]int32, 0, count),
-		Val: make([]float32, 0, count),
-	}
+	c := a.Get(count)
 	switch format {
 	case FormatCOO:
 		if len(body) != 8*count {

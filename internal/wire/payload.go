@@ -21,8 +21,10 @@ func init() {
 		Append: func(dst []byte, v any) []byte {
 			c := v.(*sparse.Chunk)
 			lo, hi := Range(c)
-			buf, _ := Encode(c, lo, hi)
-			return append(dst, buf...)
+			// Encode straight into the caller's (pooled) buffer: no
+			// intermediate allocation, no extra copy.
+			out, _ := AppendEncode(dst, c, lo, hi)
+			return out
 		},
 		Decode: func(body []byte) (any, error) { return Decode(body) },
 	})
@@ -61,8 +63,8 @@ func init() {
 			// forwarding hops keep charging what the owner accounted.
 			dst = binary.AppendUvarint(dst, uint64(sc.bytes))
 			lo, hi := Range(sc.c)
-			buf, _ := Encode(sc.c, lo, hi)
-			return append(dst, buf...)
+			out, _ := AppendEncode(dst, sc.c, lo, hi)
+			return out
 		},
 		Decode: func(body []byte) (any, error) {
 			n, used := binary.Uvarint(body)

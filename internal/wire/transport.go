@@ -52,8 +52,16 @@ func (m Mode) String() string {
 // written once. Encoded buffers stay encoded while collectives such as
 // Bruck all-gather forward them through intermediate hops; only the final
 // consumer decodes.
+//
+// Arena, when set, supplies the owning reducer's epoch-recycled storage:
+// ModeEncoded send buffers are carved from its byte slabs (an encoded
+// payload crosses the fabric by reference and may be read by peers until
+// the epoch quarantine expires — exactly the arena's lifetime contract)
+// and decoded chunks come from its chunk slabs, so even the byte-accurate
+// realism mode runs allocation-free at steady state.
 type Transport struct {
-	Mode Mode
+	Mode  Mode
+	Arena *sparse.Arena
 }
 
 // ChunkBytes returns the wire size charged for one chunk, using the tight
@@ -73,7 +81,8 @@ func (t Transport) ChunkBytes(c *sparse.Chunk) int {
 func (t Transport) Pack(c *sparse.Chunk) (payload any, bytes int) {
 	if t.Mode == ModeEncoded {
 		lo, hi := Range(c)
-		buf, _ := Encode(c, lo, hi)
+		size, format := EncodedBytes(c, lo, hi)
+		buf := AppendFormat(t.Arena.Bytes(size), c, lo, hi, format)
 		return buf, len(buf)
 	}
 	return c, t.ChunkBytes(c)
@@ -111,7 +120,7 @@ func (t Transport) Unpack(payload any) *sparse.Chunk {
 	case *sizedChunk:
 		return v.c
 	case []byte:
-		c, err := Decode(v)
+		c, err := DecodeArena(t.Arena, v)
 		if err != nil {
 			panic(fmt.Sprintf("wire: transport decode failed: %v", err))
 		}
@@ -128,7 +137,8 @@ func (t Transport) PackSlice(cs []*sparse.Chunk) (payload any, bytes int) {
 		total := 0
 		for i, c := range cs {
 			lo, hi := Range(c)
-			buf, _ := Encode(c, lo, hi)
+			size, format := EncodedBytes(c, lo, hi)
+			buf := AppendFormat(t.Arena.Bytes(size), c, lo, hi, format)
 			bufs[i] = buf
 			total += len(buf)
 		}

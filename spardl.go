@@ -34,6 +34,20 @@ import (
 // returns the global sparse-summed gradient; see sparsecoll.Reducer.
 type Reducer = sparsecoll.Reducer
 
+// InPlaceReducer is the steady-state variant of Reducer: ReduceInto writes
+// the synchronized gradient into a caller-owned vector instead of
+// allocating one per call. Every built-in reducer implements it; together
+// with the per-reducer chunk arenas the reduce pipeline allocates nothing
+// once warm.
+type InPlaceReducer = sparsecoll.InPlaceReducer
+
+// ReduceInto synchronizes grad into out via r's in-place path when it has
+// one, copying from Reduce otherwise. Steady-state loops should prefer it
+// over Reduce.
+func ReduceInto(r Reducer, ep CommEndpoint, grad, out []float32) {
+	sparsecoll.ReduceInto(r, ep, grad, out)
+}
+
 // Factory builds one Reducer per worker.
 type Factory = sparsecoll.Factory
 
@@ -163,6 +177,65 @@ func NewFabric(p int, profile Profile) *Fabric { return simnet.New(p, profile) }
 // simulated fabric and reports per-worker α-β costs.
 func RunCluster(p int, profile Profile, worker func(rank int, ep *Endpoint)) *Report {
 	return simnet.Run(p, profile, worker)
+}
+
+// RunWorkers executes worker(rank, ep) concurrently on the provided
+// endpoints (all from one fabric) and waits for completion, without
+// building a report. Steady-state loops use it to keep the fabric,
+// endpoints and reducers alive across iterations — the allocation-free
+// hot path the benchmarks measure.
+func RunWorkers(eps []*Endpoint, worker func(rank int, ep *Endpoint)) {
+	simnet.RunOn(eps, worker)
+}
+
+// ReduceBench is the canonical steady-state hot-path workload: one SparDL
+// synchronization per Iterate over a persistent fabric with persistent
+// reducers and gradient/result buffers, exactly as a training loop holds
+// them. BenchmarkReduceOnce and spardl-bench's -reduce-baseline both run
+// THIS harness, so the committed BENCH_reduce.json and the CI
+// bench-regression gate measure the identical workload by construction.
+type ReduceBench struct {
+	grads, bufs, outs [][]float32
+	eps               []*Endpoint
+	reducers          []*SparDL
+}
+
+// NewReduceBench builds the workload: deterministic per-worker gradients,
+// one reducer per worker, everything preallocated. It runs two warm-up
+// synchronizations so the arenas and pools are filled through a full
+// double-buffer (quarantine) cycle before the first timed Iterate.
+func NewReduceBench(p, n, k int, mode WireMode) (*ReduceBench, error) {
+	rb := &ReduceBench{
+		grads: make([][]float32, p), bufs: make([][]float32, p),
+		outs: make([][]float32, p), eps: make([]*Endpoint, p),
+		reducers: make([]*SparDL, p),
+	}
+	fabric := NewFabric(p, Ethernet)
+	for w := 0; w < p; w++ {
+		rb.grads[w] = make([]float32, n)
+		for i := range rb.grads[w] {
+			rb.grads[w][i] = float32((i*7+w)%101) / 100
+		}
+		rb.bufs[w] = make([]float32, n)
+		rb.outs[w] = make([]float32, n)
+		rb.eps[w] = fabric.Endpoint(w)
+		r, err := New(p, w, n, k, Options{Wire: mode})
+		if err != nil {
+			return nil, err
+		}
+		rb.reducers[w] = r
+	}
+	rb.Iterate()
+	rb.Iterate()
+	return rb, nil
+}
+
+// Iterate runs one cluster-wide steady-state synchronization.
+func (rb *ReduceBench) Iterate() {
+	RunWorkers(rb.eps, func(rank int, ep *Endpoint) {
+		copy(rb.bufs[rank], rb.grads[rank])
+		rb.reducers[rank].ReduceInto(ep, rb.bufs[rank], rb.outs[rank])
+	})
 }
 
 // RunLive executes worker(rank, endpoint) on p goroutines over a fresh
