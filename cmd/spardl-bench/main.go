@@ -16,6 +16,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -217,6 +219,117 @@ func emitLiveBaseline(path string, p, n, k int) error {
 	return nil
 }
 
+// envBenchOut hands a forked tcp-demo worker its per-rank result path.
+const envBenchOut = "SPARDL_BENCH_OUT"
+
+// tcpWorkerRecord is what one forked worker process reports per wire mode.
+type tcpWorkerRecord struct {
+	Wire      string `json:"wire"`
+	WallNs    int64  `json:"wall_ns"`
+	BytesRecv int64  `json:"bytes_recv"` // real serialized bytes received by this rank
+}
+
+// runTCPWorkerBench is the forked child body of -backend tcp: one SparDL
+// synchronization per wire mode over the process mesh, reporting measured
+// wall time and real received bytes for this rank.
+func runTCPWorkerBench(cfg spardl.TCPConfig, n, k int) {
+	ep, err := spardl.TCPStart(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ep.Close()
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "spardl-bench: rank %d failed: %v\n", ep.Rank(), r)
+			os.Exit(1)
+		}
+	}()
+	grads := reduceGrads(ep.P(), n)
+	g := make([]float32, n)
+	out := make([]float32, n)
+	var recs []tcpWorkerRecord
+	for _, mode := range []spardl.WireMode{spardl.WireCOO, spardl.WireNegotiated, spardl.WireEncoded} {
+		r, err := spardl.New(ep.P(), ep.Rank(), n, k, spardl.Options{Wire: mode})
+		if err != nil {
+			panic(err)
+		}
+		ep.SyncClock()
+		ep.ResetStats()
+		t0 := time.Now()
+		copy(g, grads[ep.Rank()])
+		spardl.ReduceInto(r, ep, g, out)
+		wall := time.Since(t0)
+		recs = append(recs, tcpWorkerRecord{
+			Wire: mode.String(), WallNs: wall.Nanoseconds(), BytesRecv: ep.Stats().BytesRecv,
+		})
+	}
+	ep.SyncClock()
+	data, err := json.Marshal(recs)
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile(os.Getenv(envBenchOut), data, 0o644); err != nil {
+		panic(err)
+	}
+}
+
+// runTCPComparison is the parent side of -backend tcp: fork one worker
+// process per rank over loopback, aggregate their reports, and print the
+// measured cross-process numbers next to the α-β simulator's for the
+// identical workload — the project's distributed-honesty demo.
+func runTCPComparison(w io.Writer, p, n, k int) error {
+	dir, err := os.MkdirTemp("", "spardl-tcp")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Fprintf(w, "## tcp vs simulated: one SparDL synchronization (P=%d processes, n=%d, k=%d)\n\n", p, n, k)
+	outs := make([]string, p)
+	for rank := range outs {
+		outs[rank] = filepath.Join(dir, fmt.Sprintf("rank%d.json", rank))
+	}
+	err = spardl.ForkTCPWorkers(p, func(rank int, cmd *exec.Cmd) {
+		cmd.Env = append(cmd.Env, envBenchOut+"="+outs[rank])
+	})
+	if err != nil {
+		return err
+	}
+
+	perRank := make([][]tcpWorkerRecord, p)
+	for rank := range perRank {
+		data, err := os.ReadFile(outs[rank])
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(data, &perRank[rank]); err != nil {
+			return err
+		}
+	}
+
+	grads := reduceGrads(p, n)
+	fmt.Fprintf(w, "%-12s %14s %16s %14s %14s\n",
+		"wire mode", "sim clock", "tcp wall (max)", "sim bytes", "tcp bytes")
+	for mi, mode := range []spardl.WireMode{spardl.WireCOO, spardl.WireNegotiated, spardl.WireEncoded} {
+		simRep := runReduceOnce(spardl.SimBackend(spardl.Ethernet), p, n, k, mode, grads)
+		var wall int64
+		var bytes int64
+		for rank := range perRank {
+			rec := perRank[rank][mi]
+			if rec.WallNs > wall {
+				wall = rec.WallNs
+			}
+			bytes += rec.BytesRecv
+		}
+		fmt.Fprintf(w, "%-12s %12.3fms %14.3fms %14d %14d\n",
+			mode.String(), simRep.Time*1e3, float64(wall)/1e6,
+			simRep.TotalBytesRecv(), bytes)
+	}
+	fmt.Fprintln(w, "\nsim clock is virtual α-β seconds; tcp figures are measured across separate")
+	fmt.Fprintln(w, "worker processes exchanging every sparse message over loopback TCP sockets.")
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("spardl-bench: ")
@@ -228,11 +341,31 @@ func main() {
 		baseline = flag.String("reduce-baseline", "", "write the BenchmarkReduceOnce perf baseline (ns/op, bytes-on-wire) to this JSON file and exit")
 		liveBase = flag.String("live-baseline", "", "write the steady-state livenet baseline (real ns/op + serialized bytes per wire mode, at the -live-p/n/k sizes) to this JSON file and exit")
 		live     = flag.Bool("live", false, "benchmark one SparDL synchronization on the livenet backend (real encode/decode, wall-clock ns/op) next to the simulated clock, then exit")
-		liveP    = flag.Int("live-p", 8, "worker count for -live")
-		liveN    = flag.Int("live-n", 1<<18, "gradient length for -live")
-		liveK    = flag.Int("live-k", 1<<18/100, "global sparse budget for -live")
+		backend  = flag.String("backend", "", "\"tcp\" forks one OS process per worker over loopback TCP and prints the measured cross-process synchronization next to the simulated clock (at the -live-p/n/k sizes), then exits")
+		liveP    = flag.Int("live-p", 8, "worker count for -live / -backend tcp")
+		liveN    = flag.Int("live-n", 1<<18, "gradient length for -live / -backend tcp")
+		liveK    = flag.Int("live-k", 1<<18/100, "global sparse budget for -live / -backend tcp")
 	)
 	flag.Parse()
+
+	// A process forked by -backend tcp below: run one rank of the demo.
+	if tcpCfg, isChild, err := spardl.TCPConfigFromEnv(); isChild {
+		if err != nil {
+			log.Fatal(err)
+		}
+		runTCPWorkerBench(tcpCfg, *liveN, *liveK)
+		return
+	}
+
+	if *backend != "" {
+		if *backend != "tcp" {
+			log.Fatalf("unknown backend %q (only \"tcp\" forks here; -live covers the in-process live backend)", *backend)
+		}
+		if err := runTCPComparison(os.Stdout, *liveP, *liveN, *liveK); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *baseline != "" {
 		if err := emitReduceBaseline(*baseline); err != nil {

@@ -1,0 +1,92 @@
+// Command spardl-worker runs ONE rank of a distributed training session
+// over the tcpnet backend: a separate OS process per worker, exchanging
+// every sparse message over real TCP sockets. Rank 0 hosts the rendezvous;
+// the other workers check in there, receive their rank and the peer
+// address map, and mesh up.
+//
+// Start P copies — on one machine or several — pointing at the same
+// rendezvous address:
+//
+//	spardl-worker -rendezvous 127.0.0.1:7070 -p 4 -rank 0 -case 1 -iters 50 &
+//	spardl-worker -rendezvous 127.0.0.1:7070 -p 4 -rank 1 -case 1 -iters 50 &
+//	spardl-worker -rendezvous 127.0.0.1:7070 -p 4 -rank 2 -case 1 -iters 50 &
+//	spardl-worker -rendezvous 127.0.0.1:7070 -p 4 -rank 3 -case 1 -iters 50
+//
+// Rank -1 lets the rendezvous assign the next free rank (rank 0 must be
+// explicit — it listens). The cluster coordinates can also come from the
+// SPARDL_TCP_RENDEZVOUS / SPARDL_TCP_P / SPARDL_TCP_RANK environment
+// (what `spardl-train -backend tcp` uses when it forks its children).
+// The workload flags mirror spardl-train; rank 0 prints the trajectory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"spardl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spardl-worker: ")
+	var (
+		rendezvous = flag.String("rendezvous", "", "host:port of rank 0's rendezvous listener")
+		p          = flag.Int("p", 0, "number of workers in the cluster")
+		rank       = flag.Int("rank", -1, "this worker's rank (0 hosts the rendezvous; -1 = assigned)")
+		host       = flag.String("host", "", "host/IP to bind and advertise for this worker's data listener (default: rendezvous host)")
+		caseID     = flag.Int("case", 1, "deep learning case 1-7 (Table II)")
+		method     = flag.String("method", "spardl", "spardl | topka | topkdsa | gtopk | oktopk | dense")
+		kRatio     = flag.Float64("k", 0.01, "sparsity ratio k/n")
+		d          = flag.Int("d", 1, "SparDL team count (must divide p)")
+		variant    = flag.String("variant", "auto", "SparDL SAG variant: auto | rsag | bsag")
+		residual   = flag.String("residual", "gres", "SparDL residuals: gres | pres | lres")
+		iters      = flag.Int("iters", 120, "training iterations")
+		seed       = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := spardl.TCPConfig{Rendezvous: *rendezvous, P: *p, Rank: *rank, Host: *host}
+	if env, ok, err := spardl.TCPConfigFromEnv(); ok {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if cfg.Rendezvous == "" {
+			// The environment supplies the cluster coordinates only; -host
+			// (this worker's advertised data address) stays in effect.
+			cfg.Rendezvous, cfg.P, cfg.Rank = env.Rendezvous, env.P, env.Rank
+		}
+	}
+	if cfg.Rendezvous == "" && cfg.P != 1 {
+		log.Fatal("need -rendezvous and -p (or the SPARDL_TCP_* environment)")
+	}
+
+	factory, err := spardl.ParseFactory(*method, cfg.P, *d, *variant, *residual)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c := spardl.CaseByID(*caseID)
+	// A poisoned fabric (lost peer, mid-collective failure) comes back as
+	// an error; exit with a clean one-line message.
+	res, myRank, err := spardl.TrainTCPRank(cfg, spardl.TrainConfig{
+		Case: c, KRatio: *kRatio,
+		Factory: factory, Iters: *iters, Seed: *seed,
+		EvalEvery: max(1, *iters/10),
+	}, func(rank, p int) {
+		if rank == 0 {
+			fmt.Printf("case %d: %s (%s), %d workers over tcpnet, k/n=%g\n",
+				c.ID, c.Name, c.Task, p, *kRatio)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if myRank != 0 {
+		return
+	}
+	spardl.FprintTrajectory(os.Stdout, c, res)
+	fmt.Printf("wall-clock breakdown (this rank): comm %.4fs + comp %.4fs (modeled); rounds/iter: %d; real bytes/iter: %d\n",
+		res.CommTime, res.CompTime, res.MaxRounds, res.BytesPerIter)
+}

@@ -122,9 +122,27 @@ func (o Options) variantFor(d int) Variant {
 	return BSAG
 }
 
-// Validate reports configuration errors for a P-worker cluster.
+// Validate reports configuration errors for a P-worker cluster. Every
+// reachable mid-collective panic is a validation error here instead: a
+// SparDL built from Options that Validate accepts never aborts a Reduce
+// (the P∈{2..9} × d sweep in the tests pins this).
 func (o Options) Validate(p int) error {
 	o = o.withDefaults()
+	switch o.Variant {
+	case Auto, RSAG, BSAG:
+	default:
+		return fmt.Errorf("core: unknown SAG variant %s", o.Variant)
+	}
+	switch o.Residual {
+	case GRES, PRES, LRES:
+	default:
+		return fmt.Errorf("core: unknown residual mode %s", o.Residual)
+	}
+	switch o.Wire {
+	case WireCOO, WireNegotiated, WireEncoded:
+	default:
+		return fmt.Errorf("core: unknown wire mode %s", o.Wire)
+	}
 	d := o.Teams
 	if d < 1 || d > p {
 		return fmt.Errorf("core: team count d=%d outside [1, P=%d]", d, p)
@@ -133,6 +151,9 @@ func (o Options) Validate(p int) error {
 		return fmt.Errorf("core: team count d=%d must divide P=%d", d, p)
 	}
 	if d > 1 && o.variantFor(d) == RSAG && d&(d-1) != 0 {
+		// The recursive-doubling exchange indexes the position group by
+		// team XOR 2^t, which walks out of range for non-pow2 d — exactly
+		// the class of reduce-time panic this validation front-loads.
 		return fmt.Errorf("core: R-SAG requires a power-of-two team count, got d=%d", d)
 	}
 	return nil

@@ -76,7 +76,7 @@ func init() {
 					{NamedFactory{"SparDL", sparDL(core.Options{})}, fmt.Sprintf("%d", 2*lg), 2 * lg, 2 * lg,
 						4*(pf-1)/pf*kf - 4*pf, 4*(pf-1)/pf*kf + 1, fmt.Sprintf("4k(P-1)/P=%.0f", 4*(pf-1)/pf*kf)},
 				}
-				if p&(p-1) == 0 {
+				if sparsecoll.GTopkValid(p) == nil {
 					specs = append(specs, spec{NamedFactory{"gTopk", sparsecoll.NewGTopk}, fmt.Sprintf("≤%d (2logP critical path)", 2*lg), 1, 2 * lg,
 						0, 4 * float64(lg) * kf, fmt.Sprintf("≤4logP·k=%.0f", 4*float64(lg)*kf)})
 				}
@@ -214,8 +214,8 @@ func init() {
 					{"gTopk", sparsecoll.NewGTopk},
 					{"SparDL", sparDL(core.Options{})},
 				} {
-					if nf.Name == "gTopk" && p&(p-1) != 0 {
-						row = append(row, "-")
+					if nf.Name == "gTopk" && sparsecoll.GTopkValid(p) != nil {
+						row = append(row, "-") // gTopk undefined for non-pow2 P; skip, don't crash the run
 						continue
 					}
 					row = append(row, fmt.Sprintf("%.2fx", ref/epochTime(p, nf)))

@@ -44,12 +44,12 @@ func (p *SlicePool[T]) Put(s []T) {
 	p.vals.Put(b)
 }
 
-// densePool recycles dense scratch vectors — today the quickselect scratch
-// of every top-k/threshold selection (topk.go), which runs once per block
-// per SRS step on every worker. Longer-lived per-iteration vectors
-// (accumulator, snapshot, result) are persistent per-reducer state
-// instead, and chunk-shaped scratch comes from the Arena; the pool covers
-// the transient remainder.
+// densePool recycles transient dense float32 scratch. The quickselect
+// scratch that used to live here moved to the uint32 key pool in topk.go
+// (selection now compares bit keys, not values); longer-lived
+// per-iteration vectors (accumulator, snapshot, result) are persistent
+// per-reducer state, and chunk-shaped scratch comes from the Arena. The
+// pool remains the utility for any future call-scoped dense scratch.
 var densePool SlicePool[float32]
 
 // GetDense returns a length-n scratch vector with arbitrary contents; see

@@ -1,5 +1,7 @@
 package sparse
 
+import "math"
+
 // Top-k selection with deterministic tie-breaking.
 //
 // Every selection in this repository keeps the k entries with the largest
@@ -8,46 +10,68 @@ package sparse
 // workers holding identical data make identical selections (e.g. both sides
 // of an R-SAG exchange, or all members of a team after B-SAG), otherwise
 // model replicas diverge.
+//
+// Selections compare *bit keys*, not float values: absKey maps a float32 to
+// a uint32 whose unsigned order is a total order on magnitudes — finite
+// values in |v| order, then ±Inf, then NaNs (ordered by payload bits). IEEE
+// float comparisons are not total (every ordered comparison against a NaN
+// is false), so a single NaN gradient would otherwise make quickselect's
+// partition invariants silently collapse: the selection count drifts away
+// from k and replicas holding identical data stop making identical
+// selections. Under the key order a poisoned gradient still selects exactly
+// k entries, NaN/Inf entries rank highest (they carry the strongest
+// "signal" and must not be dropped asymmetrically), and ties — including
+// between two NaNs with equal payloads, or between +Inf and -Inf — still
+// break to the lower index on every worker.
 
-// The quickselect scratch buffers come from the package dense pool
-// (pool.go): selections run once per block per SRS step on every worker,
-// so at paper-like sizes (n=1M, P=14) a per-call make([]float32, n) would
-// dominate allocation volume.
+// The quickselect scratch buffers come from the package key pool: selections
+// run once per block per SRS step on every worker, so at paper-like sizes
+// (n=1M, P=14) a per-call make([]uint32, n) would dominate allocation
+// volume.
 
-// kthLargestAbs returns the k-th largest absolute value in vals (1-based k)
-// using an in-place iterative quickselect with median-of-three pivoting.
-// vals is clobbered. It panics if k is out of range.
-func kthLargestAbs(vals []float32, k int) float32 {
-	if k < 1 || k > len(vals) {
+// absKey maps v to a uint32 whose unsigned order totally orders absolute
+// values: clearing the sign bit leaves the IEEE magnitude ordering for
+// finite values, +Inf (0x7f800000) above every finite value, and NaN
+// payloads (0x7f800001..0x7fffffff) deterministically above +Inf.
+func absKey(v float32) uint32 { return math.Float32bits(v) &^ (1 << 31) }
+
+// keyPool recycles the quickselect key scratch; see SlicePool.
+var keyPool SlicePool[uint32]
+
+// kthLargestKey returns the k-th largest key in keys (1-based k) using an
+// in-place iterative quickselect with median-of-three pivoting. keys is
+// clobbered. It panics if k is out of range.
+func kthLargestKey(keys []uint32, k int) uint32 {
+	if k < 1 || k > len(keys) {
 		panic("sparse: quickselect k out of range")
 	}
-	// Select the element with rank len(vals)-k in ascending |v| order.
-	target := len(vals) - k
-	lo, hi := 0, len(vals)-1
+	// Select the element with rank len(keys)-k in ascending key order.
+	target := len(keys) - k
+	lo, hi := 0, len(keys)-1
 	for lo < hi {
 		// Median-of-three pivot guards against sorted inputs, which are
 		// common for already-selected gradient chunks.
 		mid := lo + (hi-lo)/2
-		if abs32(vals[mid]) < abs32(vals[lo]) {
-			vals[mid], vals[lo] = vals[lo], vals[mid]
+		if keys[mid] < keys[lo] {
+			keys[mid], keys[lo] = keys[lo], keys[mid]
 		}
-		if abs32(vals[hi]) < abs32(vals[lo]) {
-			vals[hi], vals[lo] = vals[lo], vals[hi]
+		if keys[hi] < keys[lo] {
+			keys[hi], keys[lo] = keys[lo], keys[hi]
 		}
-		if abs32(vals[hi]) < abs32(vals[mid]) {
-			vals[hi], vals[mid] = vals[mid], vals[hi]
+		if keys[hi] < keys[mid] {
+			keys[hi], keys[mid] = keys[mid], keys[hi]
 		}
-		pivot := abs32(vals[mid])
+		pivot := keys[mid]
 		i, j := lo, hi
 		for i <= j {
-			for abs32(vals[i]) < pivot {
+			for keys[i] < pivot {
 				i++
 			}
-			for abs32(vals[j]) > pivot {
+			for keys[j] > pivot {
 				j--
 			}
 			if i <= j {
-				vals[i], vals[j] = vals[j], vals[i]
+				keys[i], keys[j] = keys[j], keys[i]
 				i++
 				j--
 			}
@@ -58,10 +82,21 @@ func kthLargestAbs(vals []float32, k int) float32 {
 		case target >= i:
 			lo = i
 		default:
-			return abs32(vals[target])
+			return keys[target]
 		}
 	}
-	return abs32(vals[lo])
+	return keys[lo]
+}
+
+// kthLargestAbsKey returns the key of the k-th largest magnitude in vals.
+func kthLargestAbsKey(vals []float32, k int) uint32 {
+	keys := keyPool.Get(len(vals))
+	for i, v := range vals {
+		keys[i] = absKey(v)
+	}
+	thr := kthLargestKey(keys, k)
+	keyPool.Put(keys)
+	return thr
 }
 
 func abs32(v float32) float32 {
@@ -72,9 +107,10 @@ func abs32(v float32) float32 {
 }
 
 // TopKChunk splits c into the k entries with the largest |value| (kept) and
-// the remainder (dropped). Ties on |value| keep the lower index. If
-// k >= c.Len() the whole chunk is kept and dropped is empty. Both returned
-// chunks are freshly allocated and sorted by index.
+// the remainder (dropped). Ties on |value| keep the lower index; NaN/Inf
+// values order deterministically (see absKey). If k >= c.Len() the whole
+// chunk is kept and dropped is empty. Both returned chunks are freshly
+// allocated and sorted by index.
 func TopKChunk(c *Chunk, k int) (kept, dropped *Chunk) {
 	return (*Arena)(nil).TopKChunk(c, k)
 }
@@ -88,27 +124,24 @@ func (a *Arena) TopKChunk(c *Chunk, k int) (kept, dropped *Chunk) {
 	if k <= 0 {
 		return a.Get(0), a.Clone(c)
 	}
-	scratch := GetDense(n)
-	copy(scratch, c.Val)
-	thr := kthLargestAbs(scratch, k)
-	PutDense(scratch)
+	thr := kthLargestAbsKey(c.Val, k)
 
 	kept = a.Get(k)
 	dropped = a.Get(n - k)
 	// First pass: everything strictly above the threshold is kept.
 	strict := 0
 	for _, v := range c.Val {
-		if abs32(v) > thr {
+		if absKey(v) > thr {
 			strict++
 		}
 	}
 	slots := k - strict // entries exactly at the threshold that fit
 	for i, v := range c.Val {
 		switch {
-		case abs32(v) > thr:
+		case absKey(v) > thr:
 			kept.Idx = append(kept.Idx, c.Idx[i])
 			kept.Val = append(kept.Val, v)
-		case abs32(v) == thr && slots > 0:
+		case absKey(v) == thr && slots > 0:
 			kept.Idx = append(kept.Idx, c.Idx[i])
 			kept.Val = append(kept.Val, v)
 			slots--
@@ -121,9 +154,10 @@ func (a *Arena) TopKChunk(c *Chunk, k int) (kept, dropped *Chunk) {
 }
 
 // TopKDense selects the top-k entries of dense[lo:hi) by absolute value and
-// returns them as a chunk with absolute indices. Ties keep the lower index.
-// Zeros are never selected (they carry no gradient information), so the
-// result may hold fewer than k entries for very sparse inputs.
+// returns them as a chunk with absolute indices. Ties keep the lower index;
+// NaN/Inf values order deterministically (see absKey). Zeros are never
+// selected (they carry no gradient information), so the result may hold
+// fewer than k entries for very sparse inputs.
 func TopKDense(dense []float32, lo, hi, k int) *Chunk {
 	return (*Arena)(nil).TopKDense(dense, lo, hi, k)
 }
@@ -146,18 +180,18 @@ func (a *Arena) TopKDense(dense []float32, lo, hi, k int) *Chunk {
 	if k >= nz {
 		return a.FromDense(dense, lo, hi)
 	}
-	scratch := GetDense(nz)[:0]
+	keys := keyPool.Get(nz)[:0]
 	for i := lo; i < hi; i++ {
 		if dense[i] != 0 {
-			scratch = append(scratch, dense[i])
+			keys = append(keys, absKey(dense[i]))
 		}
 	}
-	thr := kthLargestAbs(scratch, k)
-	PutDense(scratch)
+	thr := kthLargestKey(keys, k)
+	keyPool.Put(keys)
 	out := a.Get(k)
 	strict := 0
 	for i := lo; i < hi; i++ {
-		if abs32(dense[i]) > thr {
+		if dense[i] != 0 && absKey(dense[i]) > thr {
 			strict++
 		}
 	}
@@ -168,10 +202,10 @@ func (a *Arena) TopKDense(dense []float32, lo, hi, k int) *Chunk {
 			continue
 		}
 		switch {
-		case abs32(v) > thr:
+		case absKey(v) > thr:
 			out.Idx = append(out.Idx, int32(i))
 			out.Val = append(out.Val, v)
-		case abs32(v) == thr && slots > 0:
+		case absKey(v) == thr && slots > 0:
 			out.Idx = append(out.Idx, int32(i))
 			out.Val = append(out.Val, v)
 			slots--
@@ -236,18 +270,21 @@ func (a *Arena) ThresholdDense(dense []float32, lo, hi int, thr float32) *Chunk 
 
 // KthLargestAbs returns the k-th largest |value| among the non-zero entries
 // of dense (1-based). It returns 0 when there are fewer than k non-zeros.
-// Ok-Topk uses this to calibrate its pruning threshold.
+// Ok-Topk uses this to calibrate its pruning threshold. The rank is taken
+// in the total key order (see absKey), so poisoned inputs still yield a
+// deterministic threshold; for finite inputs the result is exactly the
+// k-th largest absolute value, as before.
 func KthLargestAbs(dense []float32, k int) float32 {
-	vals := GetDense(len(dense))[:0]
+	keys := keyPool.Get(len(dense))[:0]
 	for _, v := range dense {
 		if v != 0 {
-			vals = append(vals, v)
+			keys = append(keys, absKey(v))
 		}
 	}
 	var thr float32
-	if k >= 1 && len(vals) >= k {
-		thr = kthLargestAbs(vals, k)
+	if k >= 1 && len(keys) >= k {
+		thr = math.Float32frombits(kthLargestKey(keys, k))
 	}
-	PutDense(vals)
+	keyPool.Put(keys)
 	return thr
 }

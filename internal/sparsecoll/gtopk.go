@@ -28,14 +28,39 @@ type GTopk struct {
 	scratch
 }
 
-// NewGTopk builds the gTopk reducer for one worker. It panics if P is not
-// a power of two, matching the algorithm's domain.
-func NewGTopk(p, rank, n, k int) Reducer {
-	if p&(p-1) != 0 {
-		panic(fmt.Sprintf("sparsecoll: gTopk requires power-of-two workers, got %d", p))
+// GTopkValid reports whether a P-worker gTopk is constructible: the binary
+// reduction/broadcast trees are defined only for power-of-two P. Harnesses
+// call this up front so a non-pow2 configuration is skipped (or rejected
+// with a clean error) instead of panicking mid-run and poisoning the
+// fabric under every worker.
+func GTopkValid(p int) error {
+	if p < 1 || p&(p-1) != 0 {
+		return fmt.Errorf("sparsecoll: gTopk requires power-of-two workers, got %d", p)
+	}
+	return nil
+}
+
+// NewGTopkErr builds the gTopk reducer for one worker, returning an error
+// when P is outside the algorithm's power-of-two domain — the validated
+// construction path, mirroring core.New.
+func NewGTopkErr(p, rank, n, k int) (Reducer, error) {
+	if err := GTopkValid(p); err != nil {
+		return nil, err
 	}
 	g := &GTopk{n: n, k: k, residual: make([]float32, n), scratch: newScratch(n)}
 	g.tx.Arena = g.ar
+	return g, nil
+}
+
+// NewGTopk is the Factory-shaped constructor: it panics on non-power-of-two
+// P (a configuration bug surfaced at construction, mirroring
+// core.NewFactory). Callers with runtime-chosen P should check GTopkValid
+// first or use NewGTopkErr.
+func NewGTopk(p, rank, n, k int) Reducer {
+	g, err := NewGTopkErr(p, rank, n, k)
+	if err != nil {
+		panic(err)
+	}
 	return g
 }
 

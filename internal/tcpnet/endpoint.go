@@ -1,0 +1,662 @@
+package tcpnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spardl/internal/comm"
+	"spardl/internal/sparse"
+)
+
+// message is one frame in flight between the queues and the socket
+// goroutines. accounted carries the sender's α-β byte accounting (returned
+// by Recv); len(buf) is what the transport really moved.
+type message struct {
+	kind      byte
+	buf       []byte
+	accounted int
+}
+
+// maxFrameBytes bounds a single data frame's payload. Legitimate frames
+// top out around one dense gradient vector (a few MB at paper scale); the
+// cap exists so a corrupt length prefix cannot demand an absurd
+// allocation.
+const maxFrameBytes = 1 << 30
+
+// bufPool recycles serialization and receive buffers: Send marshals into a
+// pooled buffer which the writer goroutine returns after the socket write,
+// and the reader goroutine fills a pooled buffer which Recv returns after
+// decoding (decoders never retain their input, per the comm.PayloadCodec
+// contract).
+var bufPool sparse.SlicePool[byte]
+
+func getBuf(n int) []byte { return bufPool.Get(n) }
+func putBuf(b []byte)     { bufPool.Put(b) }
+
+// peer is one remote worker: the pair connection plus the inbound and
+// outbound FIFO queues and their goroutines' failure cause.
+type peer struct {
+	rank  int
+	conn  *net.TCPConn
+	recvq *fifo[message]
+	sendq *fifo[message]
+
+	mu    sync.Mutex
+	cause string // first failure involving this peer; "" while healthy
+}
+
+// fail records cause (first writer wins) and closes the inbound queue so
+// blocked and future Recvs unwind instead of hanging.
+func (pr *peer) fail(cause string) {
+	pr.mu.Lock()
+	if pr.cause == "" {
+		pr.cause = cause
+	}
+	pr.mu.Unlock()
+	pr.recvq.close()
+}
+
+// why returns the recorded failure cause, or a generic disconnect note.
+func (pr *peer) why() string {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.cause != "" {
+		return pr.cause
+	}
+	return fmt.Sprintf("worker %d disconnected", pr.rank)
+}
+
+// Endpoint is one worker's handle on the TCP fabric; it implements
+// comm.Endpoint with wall-clock time and real serialized byte counts.
+type Endpoint struct {
+	p, rank int
+	timeout time.Duration
+	start   time.Time
+	peers   []*peer    // indexed by rank; peers[rank] == nil
+	regMu   sync.Mutex // serializes mesh registration against abortConns
+	closed  atomic.Bool
+	readers sync.WaitGroup
+	writers sync.WaitGroup
+
+	mu    sync.Mutex // guards stats (main goroutine + stream goroutine)
+	stats comm.Stats
+
+	// Communication-stream state (Overlap/Join), mirroring livenet.
+	tasks      *fifo[func()]
+	streamDone chan struct{}
+	pending    sync.WaitGroup
+	streamBusy time.Duration // guarded by mu
+	streamErr  any           // guarded by mu; first stream-body panic
+}
+
+var _ comm.Endpoint = (*Endpoint)(nil)
+
+func newEndpoint(p, rank int, timeout time.Duration) *Endpoint {
+	e := &Endpoint{p: p, rank: rank, timeout: timeout, start: time.Now(), peers: make([]*peer, p)}
+	for r := 0; r < p; r++ {
+		if r != rank {
+			e.peers[r] = &peer{rank: r, recvq: newFifo[message](), sendq: newFifo[message]()}
+		}
+	}
+	return e
+}
+
+// register installs an established mesh connection for peer rank. It owns
+// conn: on a duplicate, an invalid slot, or an endpoint already closed
+// (mesh failed elsewhere and Abort ran while this side was still
+// connecting), the connection is closed and an error returned — no
+// established socket is ever left stranded to hang a peer.
+func (e *Endpoint) register(rank int, conn net.Conn) error {
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
+	if e.closed.Load() {
+		conn.Close()
+		return fmt.Errorf("tcpnet: endpoint closed during mesh establishment")
+	}
+	pr := e.peers[rank]
+	if pr == nil || pr.conn != nil {
+		conn.Close()
+		return fmt.Errorf("tcpnet: duplicate mesh connection for worker %d", rank)
+	}
+	tc := conn.(*net.TCPConn)
+	tc.SetNoDelay(true)
+	pr.conn = tc
+	return nil
+}
+
+// run starts the per-peer socket goroutines; the clock starts here, once
+// the mesh is fully established.
+func (e *Endpoint) run() {
+	e.start = time.Now()
+	for _, pr := range e.peers {
+		if pr == nil {
+			continue
+		}
+		e.readers.Add(1)
+		e.writers.Add(1)
+		go e.reader(pr)
+		go e.writer(pr)
+	}
+}
+
+// reader moves frames from the peer's socket into the inbound queue until
+// the stream ends. Any end — graceful close, crash, reset — closes the
+// queue with a cause, so Recv surfaces a clean error rather than a hang;
+// on balanced schedules nobody Recvs from a gracefully-finished peer
+// again, so the cause is never observed in healthy runs.
+func (e *Endpoint) reader(pr *peer) {
+	defer e.readers.Done()
+	br := bufio.NewReaderSize(pr.conn, 64<<10)
+	for {
+		m, err := readFrame(br)
+		if err != nil {
+			switch {
+			case e.closed.Load():
+				pr.fail(fmt.Sprintf("worker %d: endpoint closed", pr.rank))
+			case err == io.EOF:
+				pr.fail(fmt.Sprintf("worker %d disconnected", pr.rank))
+			default:
+				pr.fail(fmt.Sprintf("worker %d connection failed: %v", pr.rank, err))
+			}
+			return
+		}
+		if !pr.recvq.push(m) {
+			if m.buf != nil {
+				putBuf(m.buf)
+			}
+			return // inbound queue closed (Abort); stop reading
+		}
+	}
+}
+
+// writer drains the outbound queue onto the socket, flushing whenever the
+// queue momentarily empties (the latency-correct policy: batch while the
+// sender is bursting, flush before blocking). Queue closure — Close's
+// graceful path — flushes and half-closes the connection so the peer's
+// reader sees EOF only after every queued frame.
+func (e *Endpoint) writer(pr *peer) {
+	defer e.writers.Done()
+	bw := bufio.NewWriterSize(pr.conn, 64<<10)
+	fail := func(err error) {
+		pr.fail(fmt.Sprintf("send to worker %d failed: %v", pr.rank, err))
+		pr.sendq.close()
+		for { // release any queued buffers
+			m, ok := pr.sendq.pop()
+			if !ok {
+				return
+			}
+			if m.buf != nil {
+				putBuf(m.buf)
+			}
+		}
+	}
+	for {
+		m, ok := pr.sendq.tryPop()
+		if !ok {
+			if err := bw.Flush(); err != nil {
+				fail(err)
+				return
+			}
+			if m, ok = pr.sendq.pop(); !ok {
+				bw.Flush()
+				pr.conn.CloseWrite()
+				return
+			}
+		}
+		err := writeFrame(bw, m)
+		if m.buf != nil {
+			putBuf(m.buf)
+		}
+		if err != nil {
+			fail(err)
+			return
+		}
+	}
+}
+
+func writeFrame(bw *bufio.Writer, m message) error {
+	if err := bw.WriteByte(m.kind); err != nil {
+		return err
+	}
+	if m.kind != frameData {
+		return nil
+	}
+	var hdr [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(m.accounted))
+	n += binary.PutUvarint(hdr[n:], uint64(len(m.buf)))
+	if _, err := bw.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := bw.Write(m.buf)
+	return err
+}
+
+func readFrame(br *bufio.Reader) (message, error) {
+	kind, err := br.ReadByte()
+	if err != nil {
+		return message{}, err
+	}
+	if kind != frameData {
+		if kind != frameSync {
+			return message{}, fmt.Errorf("unknown frame kind 0x%02x", kind)
+		}
+		return message{kind: kind}, nil
+	}
+	acc, err := binary.ReadUvarint(br)
+	if err != nil {
+		return message{}, frameErr(err)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return message{}, frameErr(err)
+	}
+	if n > maxFrameBytes {
+		// A garbage length (torn frame, stray writer) must take the clean
+		// "connection failed" poison path, not panic the process inside
+		// make([]byte, 2^62).
+		return message{}, fmt.Errorf("frame length %d exceeds the %d-byte protocol cap", n, maxFrameBytes)
+	}
+	buf := getBuf(int(n))
+	if _, err := io.ReadFull(br, buf); err != nil {
+		putBuf(buf)
+		return message{}, frameErr(err)
+	}
+	return message{kind: kind, buf: buf, accounted: int(acc)}, nil
+}
+
+// frameErr maps an EOF in the middle of a frame to ErrUnexpectedEOF so the
+// reader reports "connection failed" (a torn frame — crash territory)
+// rather than a clean disconnect.
+func frameErr(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Rank returns this worker's rank in [0, P).
+func (e *Endpoint) Rank() int { return e.rank }
+
+// P returns the number of workers on the fabric.
+func (e *Endpoint) P() int { return e.p }
+
+// Clock returns wall-clock seconds since the mesh came up.
+func (e *Endpoint) Clock() float64 { return time.Since(e.start).Seconds() }
+
+// Stats returns a copy of the worker's statistics.
+func (e *Endpoint) Stats() comm.Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// ResetStats zeroes the statistics (the clock keeps running).
+func (e *Endpoint) ResetStats() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stats = comm.Stats{}
+}
+
+// Compute books d seconds of modeled local work; like livenet, tcpnet does
+// not sleep — the real work already runs on this goroutine.
+func (e *Endpoint) Compute(d float64) {
+	if d < 0 {
+		panic("tcpnet: negative compute time")
+	}
+	e.mu.Lock()
+	e.stats.CompTime += d
+	e.mu.Unlock()
+}
+
+func (e *Endpoint) peerFor(op string, r int) *peer {
+	if r < 0 || r >= e.p || r == e.rank {
+		panic(fmt.Sprintf("tcpnet: worker %d cannot %s worker %d", e.rank, op, r))
+	}
+	return e.peers[r]
+}
+
+// Send serializes payload through the comm payload registry and enqueues
+// the frame for worker `to`; the per-peer writer goroutine moves it onto
+// the socket, so Send never blocks. The accounted α-β size rides in the
+// frame header; stats count the real serialized size.
+func (e *Endpoint) Send(to int, payload any, bytes int) {
+	pr := e.peerFor("send to", to)
+	buf := comm.AppendPayload(getBuf(0), payload)
+	e.mu.Lock()
+	e.stats.MsgsSent++
+	e.stats.BytesSent += int64(len(buf))
+	e.mu.Unlock()
+	if !pr.sendq.push(message{kind: frameData, buf: buf, accounted: bytes}) {
+		putBuf(buf)
+		panic(fmt.Sprintf("tcpnet: send on poisoned fabric: %s", pr.why()))
+	}
+}
+
+// Recv blocks until a frame from worker `from` arrives, decodes it, and
+// returns the payload plus the sender's accounted byte count. The blocking
+// wait and the decode are both measured as communication wall time. A lost
+// peer surfaces here as a panic with the recorded cause — a poisoned
+// fabric, never a hang.
+func (e *Endpoint) Recv(from int) (payload any, bytes int) {
+	pr := e.peerFor("recv from", from)
+	t0 := time.Now()
+	m, ok := pr.recvq.pop()
+	if !ok {
+		panic(fmt.Sprintf("tcpnet: recv on poisoned fabric: %s", pr.why()))
+	}
+	if m.kind != frameData {
+		panic(fmt.Sprintf("tcpnet: worker %d sent a barrier token where data was expected (schedule mismatch)", from))
+	}
+	v, err := comm.UnmarshalPayload(m.buf)
+	if err != nil {
+		panic(fmt.Sprintf("tcpnet: decode from worker %d failed: %v", from, err))
+	}
+	n := len(m.buf)
+	putBuf(m.buf)
+	elapsed := time.Since(t0).Seconds()
+	e.mu.Lock()
+	e.stats.Rounds++
+	e.stats.BytesRecv += int64(n)
+	e.stats.CommTime += elapsed
+	e.mu.Unlock()
+	return v, m.accounted
+}
+
+// SendRecv performs the paired exchange used by recursive doubling.
+func (e *Endpoint) SendRecv(peer int, payload any, bytes int) (got any, gotBytes int) {
+	e.Send(peer, payload, bytes)
+	return e.Recv(peer)
+}
+
+// SyncClock barriers all workers: each sends an empty token to every peer
+// and waits for every peer's token, without touching statistics — the
+// distributed analogue of simnet's cost-free clock alignment.
+func (e *Endpoint) SyncClock() {
+	for r := 0; r < e.p; r++ {
+		if r == e.rank {
+			continue
+		}
+		pr := e.peers[r]
+		if !pr.sendq.push(message{kind: frameSync}) {
+			panic(fmt.Sprintf("tcpnet: barrier on poisoned fabric: %s", pr.why()))
+		}
+	}
+	for r := 0; r < e.p; r++ {
+		if r == e.rank {
+			continue
+		}
+		pr := e.peers[r]
+		m, ok := pr.recvq.pop()
+		if !ok {
+			panic(fmt.Sprintf("tcpnet: barrier on poisoned fabric: %s", pr.why()))
+		}
+		if m.kind != frameSync {
+			panic(fmt.Sprintf("tcpnet: worker %d sent data where a barrier token was expected (schedule mismatch)", r))
+		}
+	}
+}
+
+// Overlap enqueues body on the worker's communication stream — a real
+// goroutine executing overlap bodies in launch order — so the caller's
+// subsequent computation genuinely runs concurrently with serialization,
+// socket traffic and decoding. Overlap calls may not nest; between Overlap
+// and Join the main goroutine must not Send or Recv outside the stream.
+//
+// NOTE: the stream machinery here (Overlap/Join/stream/streamEndpoint and
+// the fifo below) deliberately mirrors internal/livenet's; the one
+// intentional divergence is the poison hook — livenet poisons its shared
+// in-process fabric, tcpnet calls abortConns (never Abort: the recover
+// handler runs ON the stream goroutine, and Abort waits for the stream).
+// Keep the two in sync, or extract a shared lane (see ROADMAP).
+func (e *Endpoint) Overlap(body func(comm.Endpoint)) {
+	if e.tasks == nil {
+		e.tasks = newFifo[func()]()
+		e.streamDone = make(chan struct{})
+		go e.stream()
+	}
+	e.pending.Add(1)
+	ok := e.tasks.push(func() {
+		defer e.pending.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				e.mu.Lock()
+				if e.streamErr == nil {
+					e.streamErr = r
+				}
+				e.mu.Unlock()
+				// Unblock the main goroutine (and peers) before the panic
+				// resurfaces at Join: a dead stream must not leave anyone
+				// waiting on queues that will never be fed. This runs ON
+				// the stream goroutine, so it must not be Abort — waiting
+				// for the stream to drain from inside it would deadlock.
+				e.abortConns(fmt.Sprintf("worker %d (comm stream): %v", e.rank, r))
+			}
+		}()
+		t0 := time.Now()
+		body(streamEndpoint{e})
+		busy := time.Since(t0)
+		e.mu.Lock()
+		e.streamBusy += busy
+		e.mu.Unlock()
+	})
+	if !ok {
+		e.pending.Done()
+		panic("tcpnet: Overlap after shutdown")
+	}
+}
+
+// streamEndpoint is the view handed to Overlap bodies; see livenet for the
+// rationale of detecting nesting through the type.
+type streamEndpoint struct{ e *Endpoint }
+
+func (s streamEndpoint) Rank() int         { return s.e.Rank() }
+func (s streamEndpoint) P() int            { return s.e.P() }
+func (s streamEndpoint) Clock() float64    { return s.e.Clock() }
+func (s streamEndpoint) Stats() comm.Stats { return s.e.Stats() }
+func (s streamEndpoint) ResetStats()       { s.e.ResetStats() }
+func (s streamEndpoint) Compute(d float64) { s.e.Compute(d) }
+func (s streamEndpoint) SyncClock()        { s.e.SyncClock() }
+func (s streamEndpoint) Join()             { panic("tcpnet: Join inside Overlap") }
+func (s streamEndpoint) Send(to int, payload any, bytes int) {
+	s.e.Send(to, payload, bytes)
+}
+func (s streamEndpoint) Recv(from int) (any, int) { return s.e.Recv(from) }
+func (s streamEndpoint) SendRecv(peer int, payload any, bytes int) (any, int) {
+	return s.e.SendRecv(peer, payload, bytes)
+}
+func (s streamEndpoint) Overlap(func(comm.Endpoint)) {
+	panic("tcpnet: Overlap calls cannot nest")
+}
+
+// stream executes overlap bodies in launch order until shutdown.
+func (e *Endpoint) stream() {
+	defer close(e.streamDone)
+	for {
+		fn, ok := e.tasks.pop()
+		if !ok {
+			return
+		}
+		fn()
+	}
+}
+
+// Join blocks until the communication stream has drained, then books the
+// measured wait as exposed communication and the remainder of the stream's
+// busy time as OverlapSaved; a stream-body panic resurfaces here.
+func (e *Endpoint) Join() {
+	t0 := time.Now()
+	e.pending.Wait()
+	exposed := time.Since(t0)
+	e.mu.Lock()
+	err := e.streamErr
+	e.streamErr = nil
+	saved := e.streamBusy - exposed
+	if saved < 0 {
+		saved = 0
+	}
+	if e.streamBusy > 0 {
+		e.stats.ExposedComm += exposed.Seconds()
+		e.stats.OverlapSaved += saved.Seconds()
+	}
+	e.streamBusy = 0
+	e.mu.Unlock()
+	if err != nil {
+		panic(err)
+	}
+}
+
+// Close gracefully shuts the endpoint down: it drains and half-closes every
+// outbound stream (so peers receive every queued frame, then EOF), waits —
+// up to the configured timeout — for peers to close their sides, and then
+// tears the connections down. Call it once the worker body is done. After
+// an Abort, Close only reaps the stream goroutine.
+func (e *Endpoint) Close() {
+	if e.closed.CompareAndSwap(false, true) {
+		for _, pr := range e.peers {
+			if pr != nil {
+				pr.sendq.close()
+			}
+		}
+		// Writers drain and half-close; readers exit when each peer
+		// half-closes in turn. Both waits share one deadline: a wedged
+		// peer (stopped reading, socket buffer full) must not block Close
+		// past the configured timeout — force-closing the connections
+		// below errors any stuck write out.
+		done := make(chan struct{})
+		go func() { e.writers.Wait(); e.readers.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(e.timeout):
+		}
+		for _, pr := range e.peers {
+			if pr != nil {
+				pr.conn.Close()
+				pr.recvq.close()
+			}
+		}
+		<-done
+	}
+	e.shutdownStream()
+}
+
+// Abort tears the endpoint down immediately, recording cause on every
+// peer, and reaps the communication stream. The worker-crash path; must
+// run on the worker goroutine (a stream body's recover handler uses
+// abortConns directly — see Overlap).
+func (e *Endpoint) Abort(cause string) {
+	e.abortConns(cause)
+	e.shutdownStream()
+}
+
+// abortConns poisons every peer — sockets close (so remote blocked Recvs
+// unwind), local queues close (so local blocked Recvs unwind) — without
+// touching the stream goroutine, so it is safe to call from the stream
+// itself. Idempotent; the first recorded cause per peer wins. Holding
+// regMu makes the abort atomic against in-flight mesh registration: a
+// connection registers before this loop (and is closed here) or after
+// the closed mark (and is closed by register).
+func (e *Endpoint) abortConns(cause string) {
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
+	e.closed.Store(true)
+	for _, pr := range e.peers {
+		if pr == nil {
+			continue
+		}
+		pr.fail(cause)
+		pr.sendq.close()
+		if pr.conn != nil {
+			pr.conn.Close()
+		}
+	}
+}
+
+// shutdownStream stops the communication stream goroutine, if one started.
+func (e *Endpoint) shutdownStream() {
+	if e.tasks == nil {
+		return
+	}
+	e.tasks.close()
+	<-e.streamDone
+}
+
+// fifo is an unbounded FIFO with blocking pop, mirroring livenet's: eager
+// sends with no backpressure keep the three backends executing identical
+// schedules. A closed fifo still drains its remaining items.
+type fifo[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	head   int
+	closed bool
+}
+
+func newFifo[T any]() *fifo[T] {
+	q := &fifo[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push reports false when the queue is closed instead of enqueuing.
+func (q *fifo[T]) push(x T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, x)
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks until an item is available or the queue is closed empty
+// (reported as ok = false).
+func (q *fifo[T]) pop() (x T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head == len(q.items) && !q.closed {
+		q.cond.Wait()
+	}
+	return q.take()
+}
+
+// tryPop returns immediately: ok = false when no item is ready right now
+// (whether or not more are coming).
+func (q *fifo[T]) tryPop() (x T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head == len(q.items) {
+		return x, false
+	}
+	return q.take()
+}
+
+// take pops under q.mu; the caller holds the lock and has ensured an item
+// exists or the queue is closed.
+func (q *fifo[T]) take() (x T, ok bool) {
+	if q.head == len(q.items) {
+		return x, false
+	}
+	x = q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return x, true
+}
+
+func (q *fifo[T]) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

@@ -1,0 +1,374 @@
+package tcpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"spardl/internal/comm"
+	"spardl/internal/core"
+	"spardl/internal/simnet"
+	"spardl/internal/sparsecoll"
+	"spardl/internal/wire"
+)
+
+// The cross-backend equivalence proof for tcpnet forks real worker
+// processes: TestMain diverts re-executions of this test binary into
+// childMain before the test framework runs, so every worker is a separate
+// OS process talking to its peers over real loopback TCP sockets — the
+// configuration the package exists for. The parent computes the simnet
+// reference in-process and compares bit-for-bit.
+
+const (
+	envChildMode = "SPARDL_TCPNET_CHILD_MODE"
+	envChildOut  = "SPARDL_TCPNET_OUT"
+)
+
+func TestMain(m *testing.M) {
+	switch os.Getenv(envChildMode) {
+	case "":
+		os.Exit(m.Run())
+	case "reduce":
+		childReduce()
+	case "fault":
+		childFault()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown child mode %q\n", os.Getenv(envChildMode))
+		os.Exit(64)
+	}
+}
+
+// Workload parameters shared verbatim by parent (simnet reference) and
+// children (tcpnet run).
+const (
+	eqN     = 2000
+	eqK     = 60
+	eqIters = 3
+)
+
+type eqCombo struct {
+	name    string
+	factory sparsecoll.Factory
+}
+
+// eqCombos is the full reducer Factory × wire mode matrix for a P-worker
+// cluster: every SparDL configuration and every baseline, with gTopk
+// joining on power-of-two P.
+func eqCombos(p int) []eqCombo {
+	type method struct {
+		name string
+		f    func(mode wire.Mode) sparsecoll.Factory
+	}
+	spardl := func(opts core.Options) func(mode wire.Mode) sparsecoll.Factory {
+		return func(mode wire.Mode) sparsecoll.Factory {
+			opts := opts
+			opts.Wire = mode
+			return core.NewFactory(opts)
+		}
+	}
+	baseline := func(f sparsecoll.Factory) func(mode wire.Mode) sparsecoll.Factory {
+		return func(mode wire.Mode) sparsecoll.Factory { return sparsecoll.WireVariant(f, mode) }
+	}
+	methods := []method{
+		{"spardl", spardl(core.Options{})},
+		{"spardl-eager", spardl(core.Options{Eager: true})},
+		{"topka", baseline(sparsecoll.NewTopkA)},
+		{"topkdsa", baseline(sparsecoll.NewTopkDSA)},
+		{"oktopk", baseline(sparsecoll.NewOkTopk)},
+		{"dense", baseline(sparsecoll.NewDense)},
+	}
+	for _, d := range []int{2, 3} {
+		if p%d == 0 && p > d {
+			d := d
+			methods = append(methods, method{fmt.Sprintf("spardl-d%d", d), spardl(core.Options{Teams: d})})
+		}
+	}
+	if sparsecoll.GTopkValid(p) == nil {
+		methods = append(methods, method{"gtopk", baseline(sparsecoll.NewGTopk)})
+	}
+	var combos []eqCombo
+	for _, m := range methods {
+		for _, mode := range []wire.Mode{wire.ModeCOO, wire.ModeNegotiated, wire.ModeEncoded} {
+			combos = append(combos, eqCombo{name: m.name + "/" + mode.String(), factory: m.f(mode)})
+		}
+	}
+	return combos
+}
+
+// eqGrad builds the deterministic per-worker gradient for one combo and
+// iteration: dense enough to exercise every encoding, with exact zero runs
+// so the bitmap/delta formats both win sometimes, and combo-dependent so
+// no two combos share residual trajectories.
+func eqGrad(comboIdx, rank, iter int) []float32 {
+	rng := rand.New(rand.NewSource(int64(100000*comboIdx + 1000*iter + rank)))
+	g := make([]float32, eqN)
+	for i := range g {
+		if rng.Intn(4) == 0 {
+			continue
+		}
+		g[i] = float32(rng.NormFloat64())
+	}
+	return g
+}
+
+// runComboOn executes one combo's iterations for one rank on any endpoint
+// and returns that rank's per-iteration outputs.
+func runComboOn(ep comm.Endpoint, c eqCombo, comboIdx, p int) [][]float32 {
+	r := c.factory(p, ep.Rank(), eqN, eqK)
+	outs := make([][]float32, eqIters)
+	for it := 0; it < eqIters; it++ {
+		outs[it] = r.Reduce(ep, eqGrad(comboIdx, ep.Rank(), it))
+		ep.SyncClock()
+	}
+	return outs
+}
+
+// childReduce is the forked worker: join the mesh, run the full combo
+// matrix, stream this rank's outputs (as raw float32 bits) to the output
+// file, and exit 0. Any panic — including a poisoned fabric — exits 1.
+func childReduce() {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "tcpnet child: %v\n", r)
+			os.Exit(1)
+		}
+	}()
+	cfg, ok, err := FromEnv()
+	if !ok || err != nil {
+		panic(fmt.Sprintf("bad child env (ok=%v): %v", ok, err))
+	}
+	cfg.Timeout = 60 * time.Second
+	ep, err := Start(cfg)
+	if err != nil {
+		panic(err)
+	}
+	defer ep.Close()
+
+	out, err := os.Create(os.Getenv(envChildOut))
+	if err != nil {
+		panic(err)
+	}
+	defer out.Close()
+	var buf []byte
+	for ci, c := range eqCombos(cfg.P) {
+		for _, vec := range runComboOn(ep, c, ci, cfg.P) {
+			buf = buf[:0]
+			for _, v := range vec {
+				buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+			}
+			if _, err := out.Write(buf); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if _, err := out.WriteString("DONE"); err != nil {
+		panic(err)
+	}
+}
+
+// spawnWorkers forks one child per rank (re-executing this test binary in
+// the given mode) and returns the commands plus each rank's output path.
+func spawnWorkers(t *testing.T, mode string, p int) ([]*exec.Cmd, []string) {
+	t.Helper()
+	addr, err := ReserveLoopbackAddr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cmds := make([]*exec.Cmd, p)
+	outs := make([]string, p)
+	for rank := 0; rank < p; rank++ {
+		outs[rank] = filepath.Join(dir, fmt.Sprintf("rank%d.bin", rank))
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), envChildMode+"="+mode, envChildOut+"="+outs[rank])
+		cmd.Env = append(cmd.Env, ChildEnv(addr, p, rank)...)
+		var stderr strings.Builder
+		cmd.Stderr = &stderr
+		cmds[rank] = cmd
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("spawning rank %d: %v", rank, err)
+		}
+	}
+	return cmds, outs
+}
+
+// waitAll waits for every child with a deadline; a hung cluster is a test
+// failure (the fault-path contract is "error, not hang"), not a timeout of
+// the whole test run.
+func waitAll(t *testing.T, cmds []*exec.Cmd, deadline time.Duration) []error {
+	t.Helper()
+	type res struct {
+		rank int
+		err  error
+	}
+	ch := make(chan res, len(cmds))
+	for rank, cmd := range cmds {
+		go func(rank int, cmd *exec.Cmd) { ch <- res{rank, cmd.Wait()} }(rank, cmd)
+	}
+	errs := make([]error, len(cmds))
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	for range cmds {
+		select {
+		case r := <-ch:
+			errs[r.rank] = r.err
+		case <-timer.C:
+			for _, cmd := range cmds {
+				if cmd.Process != nil {
+					cmd.Process.Kill()
+				}
+			}
+			t.Fatalf("worker processes hung past %v", deadline)
+		}
+	}
+	return errs
+}
+
+// TestProcessEquivalence is the package's headline proof: every reducer
+// Factory × wire mode, run by P separate OS processes over real loopback
+// TCP sockets, is bit-identical to the α-β simulator — and the replicas
+// agree with each other, the property S-SGD relies on.
+func TestProcessEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks worker processes")
+	}
+	for _, p := range []int{6, 4} { // 4 adds gTopk; 6 adds d=2/d=3 teams
+		p := p
+		t.Run(fmt.Sprintf("P=%d", p), func(t *testing.T) {
+			combos := eqCombos(p)
+
+			// Reference: the same combo matrix on the simulator, in-process.
+			sim := make([][][][]float32, len(combos)) // combo → rank → iter → vec
+			for ci := range combos {
+				sim[ci] = make([][][]float32, p)
+			}
+			simnet.Backend(simnet.Ethernet).Run(p, func(rank int, ep comm.Endpoint) {
+				for ci, c := range combos {
+					sim[ci][rank] = runComboOn(ep, c, ci, p)
+				}
+			})
+
+			cmds, outs := spawnWorkers(t, "reduce", p)
+			errs := waitAll(t, cmds, 3*time.Minute)
+			for rank, err := range errs {
+				if err != nil {
+					t.Fatalf("worker process %d failed: %v\nstderr:\n%s", rank, err, cmds[rank].Stderr)
+				}
+			}
+
+			for rank := 0; rank < p; rank++ {
+				data, err := os.ReadFile(outs[rank])
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := len(combos)*eqIters*eqN*4 + 4
+				if len(data) != want || string(data[len(data)-4:]) != "DONE" {
+					t.Fatalf("rank %d output truncated: %d bytes, want %d", rank, len(data), want)
+				}
+				off := 0
+				for ci, c := range combos {
+					for it := 0; it < eqIters; it++ {
+						ref := sim[ci][rank][it]
+						for i := 0; i < eqN; i++ {
+							got := binary.LittleEndian.Uint32(data[off:])
+							off += 4
+							if got != math.Float32bits(ref[i]) {
+								t.Fatalf("combo %s iter %d rank %d elem %d: tcpnet %08x != simnet %08x",
+									c.name, it, rank, i, got, math.Float32bits(ref[i]))
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// childFault joins a 3-worker mesh; rank 1 then dies without ceremony
+// while ranks 0 and 2 start a Reduce that needs it. The survivors must
+// surface a clean poisoned-fabric error.
+func childFault() {
+	cfg, ok, err := FromEnv()
+	if !ok || err != nil {
+		fmt.Fprintf(os.Stderr, "bad child env: %v\n", err)
+		os.Exit(64)
+	}
+	cfg.Timeout = 60 * time.Second
+	ep, err := Start(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "start: %v\n", err)
+		os.Exit(64)
+	}
+	if cfg.Rank == 1 {
+		ep.SyncClock()
+		os.Exit(3) // die mid-schedule: no Close, sockets torn down by the kernel
+	}
+	// The dead peer's poison may surface at the barrier (its exit can beat
+	// its writer goroutine's flush of the barrier tokens — eager sends are
+	// lost on crash, exactly like a real network) or inside the Reduce;
+	// either way the survivor must get a clean panic, never a hang.
+	defer func() {
+		r := recover()
+		if r == nil {
+			fmt.Fprintln(os.Stderr, "survivor completed a Reduce that required a dead peer")
+			os.Exit(64)
+		}
+		fmt.Fprintf(os.Stderr, "poisoned: %v\n", r)
+		os.Exit(1) // expected: clean poisoned-fabric panic
+	}()
+	ep.SyncClock()
+	r := core.NewFactory(core.Options{})(cfg.P, cfg.Rank, eqN, eqK)
+	r.Reduce(ep, eqGrad(0, cfg.Rank, 0))
+}
+
+// TestFaultPoisonsSurvivors kills a worker process mid-Reduce and asserts
+// the surviving processes fail fast with a clean error — a poisoned
+// fabric, not a hang.
+func TestFaultPoisonsSurvivors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks worker processes")
+	}
+	cmds, _ := spawnWorkers(t, "fault", 3)
+	errs := waitAll(t, cmds, time.Minute)
+
+	if code := exitCode(errs[1]); code != 3 {
+		t.Fatalf("rank 1 should have died with code 3, got %v", errs[1])
+	}
+	sawRootCause := false
+	for _, rank := range []int{0, 2} {
+		if code := exitCode(errs[rank]); code != 1 {
+			t.Fatalf("survivor %d: exit %d (err %v), want 1\nstderr:\n%s",
+				rank, code, errs[rank], cmds[rank].Stderr)
+		}
+		// A survivor may name the crashed worker directly or a peer that
+		// the crash already took down (the cascade a real cluster shows);
+		// either way the error must be the clean poisoned-fabric one.
+		msg := fmt.Sprint(cmds[rank].Stderr)
+		if !strings.Contains(msg, "poisoned fabric") || !strings.Contains(msg, "worker") {
+			t.Fatalf("survivor %d: unhelpful error:\n%s", rank, msg)
+		}
+		if strings.Contains(msg, "worker 1") {
+			sawRootCause = true
+		}
+	}
+	if !sawRootCause {
+		t.Fatalf("no survivor named the crashed worker:\n0: %s\n2: %s", cmds[0].Stderr, cmds[2].Stderr)
+	}
+}
+
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	return -1
+}

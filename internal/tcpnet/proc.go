@@ -1,0 +1,100 @@
+package tcpnet
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+
+	"spardl/internal/comm"
+)
+
+// Environment variables the process helpers use to hand a child worker its
+// cluster coordinates; cmd/spardl-train, cmd/spardl-bench and the
+// equivalence tests all speak this convention, and cmd/spardl-worker
+// accepts it as the flag fallback.
+const (
+	EnvRendezvous = "SPARDL_TCP_RENDEZVOUS"
+	EnvP          = "SPARDL_TCP_P"
+	EnvRank       = "SPARDL_TCP_RANK"
+)
+
+// ReserveLoopbackAddr picks a currently-free loopback host:port for a
+// rendezvous listener: it binds port 0, reads the assignment back, and
+// releases it for rank 0 to re-bind. The tiny race window between release
+// and re-bind is acceptable for single-machine clusters (the port was
+// kernel-chosen and is not reused immediately); multi-host deployments
+// pass a fixed, routable address instead.
+func ReserveLoopbackAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// ChildEnv returns the environment entries that hand one spawned worker
+// process its cluster coordinates; append them to os.Environ().
+func ChildEnv(rendezvous string, p, rank int) []string {
+	return []string{
+		EnvRendezvous + "=" + rendezvous,
+		EnvP + "=" + strconv.Itoa(p),
+		EnvRank + "=" + strconv.Itoa(rank),
+	}
+}
+
+// FromEnv reads the child-worker convention back into a Config. ok is
+// false when the process was not spawned as a tcpnet worker.
+func FromEnv() (cfg Config, ok bool, err error) {
+	rdv := os.Getenv(EnvRendezvous)
+	if rdv == "" {
+		return Config{}, false, nil
+	}
+	p, err := strconv.Atoi(os.Getenv(EnvP))
+	if err != nil {
+		return Config{}, true, fmt.Errorf("tcpnet: bad %s: %w", EnvP, err)
+	}
+	rank, err := strconv.Atoi(os.Getenv(EnvRank))
+	if err != nil {
+		return Config{}, true, fmt.Errorf("tcpnet: bad %s: %w", EnvRank, err)
+	}
+	return Config{Rendezvous: rdv, P: p, Rank: rank}, true, nil
+}
+
+// SelfBackend adapts an established endpoint to the comm.Backend contract
+// for the one rank this process runs. Run executes the worker function for
+// this rank only — the other P-1 ranks are separate processes running
+// their own SelfBackend — so the Report covers this rank alone; cluster-
+// wide aggregation is the parent process's job. A worker panic aborts the
+// endpoint first (closing the sockets unblocks remote peers, exactly as a
+// process crash would) and then resurfaces.
+func SelfBackend(ep *Endpoint) comm.Backend { return selfBackend{ep} }
+
+type selfBackend struct{ ep *Endpoint }
+
+// Name implements comm.Backend.
+func (selfBackend) Name() string { return "tcpnet" }
+
+// Run implements comm.Backend for the single local rank.
+func (b selfBackend) Run(p int, worker func(rank int, ep comm.Endpoint)) *comm.Report {
+	if p != b.ep.P() {
+		panic(fmt.Sprintf("tcpnet: backend built for P=%d, Run asked for %d", b.ep.P(), p))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			b.ep.Abort(fmt.Sprintf("worker %d: %v", b.ep.Rank(), r))
+			panic(r)
+		}
+	}()
+	worker(b.ep.Rank(), b.ep)
+	rep := &comm.Report{
+		Time:      b.ep.Clock(),
+		PerWorker: make([]comm.Stats, p),
+		Clocks:    make([]float64, p),
+	}
+	rep.PerWorker[b.ep.Rank()] = b.ep.Stats()
+	rep.Clocks[b.ep.Rank()] = b.ep.Clock()
+	return rep
+}

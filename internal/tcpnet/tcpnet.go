@@ -1,0 +1,498 @@
+// Package tcpnet is the distributed comm backend: each of the P workers is
+// a separate OS process (or, in tests, any mix of processes and
+// goroutines) exchanging length-prefixed frames over real TCP sockets.
+// Every payload is serialized through the comm payload registry — sparse
+// chunks go through the wire codecs, so the bytes crossing a socket are
+// exactly the Encode/Decode stream livenet moves through its in-memory
+// queues — and parsed back at the receiver. tcpnet is the step from
+// "hardware-honest in one process" (livenet) to "actually distributed":
+// separate address spaces, a real kernel network stack, and processes that
+// can genuinely crash.
+//
+// # Topology
+//
+// Rank 0 acts as rendezvous: it listens on a well-known address, assigns
+// ranks to workers as they check in, and distributes the full peer address
+// map. Every worker also opens its own data listener; after rendezvous the
+// workers dial a full mesh — one TCP connection per unordered pair, with
+// the higher rank dialing the lower — and each direction of a connection
+// carries that ordered pair's frames.
+//
+// # Determinism contract
+//
+// Identical to the other backends (see package comm): every Recv names its
+// source rank, per-(sender, receiver) delivery is FIFO (one TCP stream
+// direction per ordered pair, one writer and one reader goroutine each),
+// and the codec round-trip preserves float32 values bit-exactly. The
+// cross-backend equivalence test in this package forks real worker
+// processes and pins bit-identity against simnet for every reducer factory
+// and wire mode. Clock, CommTime, ExposedComm and OverlapSaved are
+// measured wall seconds; BytesSent/BytesRecv count real serialized bytes,
+// while the sender's accounted α-β size rides in the frame header exactly
+// like livenet's in-memory envelope.
+//
+// # Failure model
+//
+// Sends never block (per-peer unbounded outbound queues mirror the eager
+// simnet/livenet semantics, so all three backends execute identical
+// schedules). A lost peer — crashed process, killed connection — closes
+// that peer's queues with a recorded cause: every blocked or future
+// Recv/Send involving the peer panics with a clean "worker N disconnected"
+// error instead of hanging, and the panic cascades the usual way (worker
+// dies, its sockets close, its peers unwind), so a poisoned fabric drains
+// cluster-wide just as it does on livenet.
+package tcpnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Protocol constants. The magic/version prefix guards both the rendezvous
+// hello and the mesh handshake against foreign connections.
+var magic = [4]byte{'S', 'P', 'D', 'L'}
+
+const protoVersion = 1
+
+// Frame kinds.
+const (
+	frameData byte = 0 // payload frame: uvarint accounted, uvarint len, bytes
+	frameSync byte = 1 // SyncClock barrier token, no body
+)
+
+// Config describes one worker's view of the cluster.
+type Config struct {
+	// Rendezvous is the host:port rank 0 listens on for worker check-in.
+	Rendezvous string
+	// P is the total number of workers.
+	P int
+	// Rank is this worker's rank. Rank 0 must be explicit (it hosts the
+	// rendezvous); other workers may pass -1 to have the rendezvous assign
+	// the next free rank in arrival order.
+	Rank int
+	// Host is the host/IP this worker binds and advertises for its data
+	// listener. Empty defaults to the host part of Rendezvous — correct
+	// for single-machine (loopback) clusters; multi-host workers set it to
+	// their own reachable address.
+	Host string
+	// Timeout bounds rendezvous and mesh establishment, and the graceful
+	// drain in Close. Zero defaults to 30s.
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.P < 1 {
+		return c, fmt.Errorf("tcpnet: need at least one worker, got P=%d", c.P)
+	}
+	if c.Rank < -1 || c.Rank >= c.P {
+		return c, fmt.Errorf("tcpnet: rank %d outside [0,%d) (or -1 to be assigned)", c.Rank, c.P)
+	}
+	if c.P > 1 && c.Rendezvous == "" {
+		return c, fmt.Errorf("tcpnet: rendezvous address required for P=%d", c.P)
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.Host == "" && c.Rendezvous != "" {
+		host, _, err := net.SplitHostPort(c.Rendezvous)
+		if err != nil {
+			return c, fmt.Errorf("tcpnet: bad rendezvous address %q: %w", c.Rendezvous, err)
+		}
+		c.Host = host
+	}
+	return c, nil
+}
+
+// Start performs rendezvous and full-mesh establishment and returns this
+// worker's endpoint, ready for collectives. It blocks until every pairwise
+// connection is up or the deadline passes.
+func Start(cfg Config) (*Endpoint, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(cfg.Timeout)
+	if cfg.P == 1 {
+		return newEndpoint(1, 0, cfg.Timeout), nil
+	}
+
+	dataLn, err := net.Listen("tcp", net.JoinHostPort(cfg.Host, "0"))
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: data listener: %w", err)
+	}
+	defer dataLn.Close()
+	dataLn.(*net.TCPListener).SetDeadline(deadline)
+
+	var rank int
+	var addrs []string
+	if cfg.Rank == 0 {
+		addrs, err = serveRendezvous(cfg, dataLn.Addr().String(), deadline)
+		rank = 0
+	} else {
+		rank, addrs, err = checkIn(cfg, dataLn.Addr().String(), deadline)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	e := newEndpoint(cfg.P, rank, cfg.Timeout)
+	if err := e.mesh(dataLn, addrs, deadline); err != nil {
+		e.Abort(err.Error())
+		return nil, err
+	}
+	e.run()
+	return e, nil
+}
+
+// serveRendezvous is rank 0's side of check-in: accept P-1 hellos, assign
+// ranks (explicit requests win; -1 workers fill the free slots in arrival
+// order), then send every worker its rank and the full data-address map.
+func serveRendezvous(cfg Config, ownDataAddr string, deadline time.Time) ([]string, error) {
+	ln, err := net.Listen("tcp", cfg.Rendezvous)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: rendezvous listener on %s: %w", cfg.Rendezvous, err)
+	}
+	defer ln.Close()
+	ln.(*net.TCPListener).SetDeadline(deadline)
+
+	type checkin struct {
+		conn net.Conn
+		want int
+		addr string
+	}
+	pending := make([]*checkin, 0, cfg.P-1)
+	defer func() {
+		for _, c := range pending {
+			c.conn.Close()
+		}
+	}()
+	for len(pending) < cfg.P-1 {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("tcpnet: rendezvous accept (have %d/%d workers): %w", len(pending), cfg.P-1, err)
+		}
+		conn.SetDeadline(deadline)
+		want, addr, err := readHello(conn)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("tcpnet: rendezvous hello: %w", err)
+		}
+		pending = append(pending, &checkin{conn: conn, want: want, addr: addr})
+	}
+
+	addrs := make([]string, cfg.P)
+	addrs[0] = ownDataAddr
+	ranks := make([]int, len(pending))
+	// Pass 1: explicit requests.
+	for i, c := range pending {
+		ranks[i] = -1
+		if c.want < 0 {
+			continue
+		}
+		if c.want == 0 || c.want >= cfg.P || addrs[c.want] != "" {
+			return nil, fmt.Errorf("tcpnet: worker requested rank %d (taken or out of range for P=%d)", c.want, cfg.P)
+		}
+		addrs[c.want] = c.addr
+		ranks[i] = c.want
+	}
+	// Pass 2: fill free slots in arrival order.
+	next := 1
+	for i, c := range pending {
+		if ranks[i] >= 0 {
+			continue
+		}
+		for addrs[next] != "" {
+			next++
+		}
+		addrs[next] = c.addr
+		ranks[i] = next
+	}
+	for i, c := range pending {
+		if err := writeAssignment(c.conn, ranks[i], addrs); err != nil {
+			return nil, fmt.Errorf("tcpnet: rendezvous reply to rank %d: %w", ranks[i], err)
+		}
+		c.conn.Close()
+	}
+	pending = nil
+	return addrs, nil
+}
+
+// checkIn is the non-zero worker's side of rendezvous: dial rank 0 (with
+// retry — workers race rank 0's listen), announce the desired rank and the
+// data address, and receive the assignment plus the address map.
+func checkIn(cfg Config, dataAddr string, deadline time.Time) (int, []string, error) {
+	conn, err := dialRetry(cfg.Rendezvous, deadline)
+	if err != nil {
+		return 0, nil, fmt.Errorf("tcpnet: rendezvous at %s unreachable: %w", cfg.Rendezvous, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(deadline)
+	if err := writeHello(conn, cfg.Rank, dataAddr); err != nil {
+		return 0, nil, fmt.Errorf("tcpnet: hello: %w", err)
+	}
+	rank, addrs, err := readAssignment(conn)
+	if err != nil {
+		return 0, nil, fmt.Errorf("tcpnet: rendezvous assignment: %w", err)
+	}
+	if len(addrs) != cfg.P {
+		return 0, nil, fmt.Errorf("tcpnet: rendezvous says P=%d, this worker was configured for P=%d", len(addrs), cfg.P)
+	}
+	if cfg.Rank >= 0 && rank != cfg.Rank {
+		return 0, nil, fmt.Errorf("tcpnet: rendezvous assigned rank %d, wanted %d", rank, cfg.Rank)
+	}
+	return rank, addrs, nil
+}
+
+// mesh establishes one connection per peer: dial every lower rank, accept
+// from every higher rank. Dials and accepts run concurrently so the order
+// in which peers come up cannot deadlock establishment. Each side
+// registers its connections directly (register owns the conn as soon as
+// it is established), so a mesh that fails partway strands nothing: the
+// caller's Abort closes everything registered so far, and anything a
+// still-running goroutine establishes afterwards is closed at
+// registration time.
+func (e *Endpoint) mesh(dataLn net.Listener, addrs []string, deadline time.Time) error {
+	errs := make(chan error, 2)
+	go func() {
+		for i := 0; i < e.p-1-e.rank; i++ {
+			conn, err := dataLn.Accept()
+			if err != nil {
+				errs <- fmt.Errorf("tcpnet: mesh accept: %w", err)
+				return
+			}
+			conn.SetDeadline(deadline)
+			peer, err := readHandshake(conn)
+			if err != nil {
+				conn.Close()
+				errs <- fmt.Errorf("tcpnet: mesh handshake: %w", err)
+				return
+			}
+			if peer <= e.rank || peer >= e.p {
+				conn.Close()
+				errs <- fmt.Errorf("tcpnet: mesh handshake from rank %d, expected a rank in (%d,%d) to dial us", peer, e.rank, e.p)
+				return
+			}
+			conn.SetDeadline(time.Time{})
+			if err := e.register(peer, conn); err != nil {
+				errs <- err
+				return
+			}
+		}
+		errs <- nil
+	}()
+	go func() {
+		for r := 0; r < e.rank; r++ {
+			conn, err := dialRetry(addrs[r], deadline)
+			if err != nil {
+				errs <- fmt.Errorf("tcpnet: dialing worker %d at %s: %w", r, addrs[r], err)
+				return
+			}
+			conn.SetDeadline(deadline)
+			if err := writeHandshake(conn, e.rank); err != nil {
+				conn.Close()
+				errs <- fmt.Errorf("tcpnet: handshake to worker %d: %w", r, err)
+				return
+			}
+			conn.SetDeadline(time.Time{})
+			if err := e.register(r, conn); err != nil {
+				errs <- err
+				return
+			}
+		}
+		errs <- nil
+	}()
+
+	// On the first failure, return immediately: the caller aborts the
+	// endpoint, and the other goroutine — bounded by the deadline — hands
+	// any further connections to register, which closes them once the
+	// endpoint is marked closed. The buffered channel keeps its final
+	// send from blocking.
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dialRetry dials addr with short backoff until the deadline — peers race
+// each other's listener creation during startup.
+func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+	backoff := 2 * time.Millisecond
+	for {
+		d := net.Dialer{Deadline: deadline}
+		conn, err := d.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return nil, err
+		}
+		time.Sleep(backoff)
+		if backoff < 100*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// --- wire helpers -------------------------------------------------------
+
+func writePrefix(w io.Writer) error {
+	var b []byte
+	b = append(b, magic[:]...)
+	b = binary.AppendUvarint(b, protoVersion)
+	_, err := w.Write(b)
+	return err
+}
+
+func readPrefix(br *bufio.Reader) error {
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return err
+	}
+	if m != magic {
+		return fmt.Errorf("bad magic %q", m[:])
+	}
+	v, err := binary.ReadUvarint(br)
+	if err != nil {
+		return err
+	}
+	if v != protoVersion {
+		return fmt.Errorf("protocol version %d, want %d", v, protoVersion)
+	}
+	return nil
+}
+
+func writeHello(conn net.Conn, rank int, addr string) error {
+	if err := writePrefix(conn); err != nil {
+		return err
+	}
+	var b []byte
+	b = binary.AppendVarint(b, int64(rank))
+	b = binary.AppendUvarint(b, uint64(len(addr)))
+	b = append(b, addr...)
+	_, err := conn.Write(b)
+	return err
+}
+
+func readHello(conn net.Conn) (rank int, addr string, err error) {
+	br := bufio.NewReader(conn)
+	if err := readPrefix(br); err != nil {
+		return 0, "", err
+	}
+	r, err := binary.ReadVarint(br)
+	if err != nil {
+		return 0, "", err
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, "", err
+	}
+	if n > 1024 {
+		return 0, "", fmt.Errorf("implausible address length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return 0, "", err
+	}
+	return int(r), string(buf), nil
+}
+
+func writeAssignment(conn net.Conn, rank int, addrs []string) error {
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(rank))
+	b = binary.AppendUvarint(b, uint64(len(addrs)))
+	for _, a := range addrs {
+		b = binary.AppendUvarint(b, uint64(len(a)))
+		b = append(b, a...)
+	}
+	_, err := conn.Write(b)
+	return err
+}
+
+func readAssignment(conn net.Conn) (rank int, addrs []string, err error) {
+	br := bufio.NewReader(conn)
+	r, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, nil, err
+	}
+	p, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, nil, err
+	}
+	if p > 1<<16 {
+		return 0, nil, fmt.Errorf("implausible worker count %d", p)
+	}
+	addrs = make([]string, p)
+	for i := range addrs {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, nil, err
+		}
+		if n > 1024 {
+			return 0, nil, fmt.Errorf("implausible address length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return 0, nil, err
+		}
+		addrs[i] = string(buf)
+	}
+	return int(r), addrs, nil
+}
+
+func writeHandshake(conn net.Conn, rank int) error {
+	if err := writePrefix(conn); err != nil {
+		return err
+	}
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(rank))
+	_, err := conn.Write(b)
+	return err
+}
+
+// readHandshake identifies the dialing peer. The bufio reader must not
+// over-read past the handshake — data frames follow on the same stream —
+// so it reads byte by byte through a tiny adapter.
+func readHandshake(conn net.Conn) (int, error) {
+	one := oneByteReader{conn}
+	var m [4]byte
+	for i := range m {
+		b, err := one.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		m[i] = b
+	}
+	if m != magic {
+		return 0, fmt.Errorf("bad magic %q", m[:])
+	}
+	v, err := binary.ReadUvarint(one)
+	if err != nil {
+		return 0, err
+	}
+	if v != protoVersion {
+		return 0, fmt.Errorf("protocol version %d, want %d", v, protoVersion)
+	}
+	r, err := binary.ReadUvarint(one)
+	if err != nil {
+		return 0, err
+	}
+	return int(r), nil
+}
+
+// oneByteReader reads exactly one byte per syscall, so the handshake never
+// consumes frame bytes that belong to the endpoint's buffered reader.
+type oneByteReader struct{ c net.Conn }
+
+func (o oneByteReader) ReadByte() (byte, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(o.c, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}

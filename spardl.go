@@ -2,11 +2,12 @@
 // Learning Training with Efficient Sparse Communication" (Zhao et al.,
 // ICDE 2024) — together with the sparse all-reduce baselines it is
 // evaluated against (TopkA, TopkDSA, gTopk, Ok-Topk), a backend-neutral
-// communication layer with two interchangeable transports — a
-// deterministic α-β-model cluster simulator and a real concurrent
-// byte-level transport (livenet) — a small autograd engine, and the full
-// experiment harness that regenerates every table and figure of the
-// paper's evaluation.
+// communication layer with three interchangeable transports — a
+// deterministic α-β-model cluster simulator (simnet), a real concurrent
+// in-process byte-level transport (livenet), and a multi-process TCP
+// backend (tcpnet) where every worker is a separate OS process — a small
+// autograd engine, and the full experiment harness that regenerates every
+// table and figure of the paper's evaluation.
 //
 // # Quick start
 //
@@ -20,6 +21,12 @@
 package spardl
 
 import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
 	"spardl/internal/comm"
 	"spardl/internal/core"
 	"spardl/internal/expt"
@@ -27,6 +34,7 @@ import (
 	"spardl/internal/pipeline"
 	"spardl/internal/simnet"
 	"spardl/internal/sparsecoll"
+	"spardl/internal/tcpnet"
 	"spardl/internal/train"
 )
 
@@ -128,6 +136,55 @@ var Methods = map[string]Factory{
 	"dense":   Dense,
 }
 
+// GTopkValid reports whether gTopk is constructible for P workers (the
+// algorithm is defined only for power-of-two P). CLI harnesses check it up
+// front so an unsupported configuration fails fast or is skipped instead
+// of panicking mid-run.
+func GTopkValid(p int) error { return sparsecoll.GTopkValid(p) }
+
+// ParseFactory builds a reducer factory from CLI-style settings: method is
+// "spardl" or a Methods key; teams/variant/residual configure SparDL and
+// are ignored otherwise. Every configuration error — unknown names, gTopk
+// on non-power-of-two P, invalid team counts — comes back as an error
+// here, before any worker starts.
+func ParseFactory(method string, p, teams int, variant, residual string) (Factory, error) {
+	if strings.EqualFold(method, "spardl") {
+		opts := Options{Teams: teams}
+		switch strings.ToLower(variant) {
+		case "", "auto":
+		case "rsag":
+			opts.Variant = RSAG
+		case "bsag":
+			opts.Variant = BSAG
+		default:
+			return nil, fmt.Errorf("unknown variant %q", variant)
+		}
+		switch strings.ToLower(residual) {
+		case "", "gres":
+		case "pres":
+			opts.Residual = PRES
+		case "lres":
+			opts.Residual = LRES
+		default:
+			return nil, fmt.Errorf("unknown residual mode %q", residual)
+		}
+		if err := opts.Validate(p); err != nil {
+			return nil, err
+		}
+		return NewFactory(opts), nil
+	}
+	f, ok := Methods[strings.ToLower(method)]
+	if !ok {
+		return nil, fmt.Errorf("unknown method %q", method)
+	}
+	if strings.EqualFold(method, "gtopk") {
+		if err := GTopkValid(p); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
 // Communication layer. Every collective is written against the backend-
 // neutral comm.Endpoint contract; two backends implement it.
 type (
@@ -150,6 +207,114 @@ func SimBackend(profile Profile) Backend { return simnet.Backend(profile) }
 // over in-memory channels, every sparse message actually serialized
 // through the wire codecs, wall-clock time and real byte counts.
 func LiveBackend() Backend { return livenet.NewBackend() }
+
+// Distributed TCP backend (tcpnet): each worker is a separate OS process;
+// rank 0 hosts the rendezvous, workers mesh up over real TCP sockets, and
+// every message crosses the kernel network stack through the same wire
+// codecs livenet uses.
+type (
+	// TCPConfig describes one worker process's cluster coordinates
+	// (rendezvous address, P, rank).
+	TCPConfig = tcpnet.Config
+	// TCPEndpoint is one worker process's comm.Endpoint over the mesh.
+	TCPEndpoint = tcpnet.Endpoint
+)
+
+// TCPStart performs rendezvous and full-mesh establishment for this
+// process's rank and returns its endpoint.
+func TCPStart(cfg TCPConfig) (*TCPEndpoint, error) { return tcpnet.Start(cfg) }
+
+// TCPSelfBackend adapts an established TCP endpoint to the Backend
+// contract for the one rank this process runs; the other ranks are
+// separate processes. Use it as TrainConfig.Backend inside a worker
+// process (cmd/spardl-worker does exactly this).
+func TCPSelfBackend(ep *TCPEndpoint) Backend { return tcpnet.SelfBackend(ep) }
+
+// ReserveTCPAddr picks a free loopback host:port for a rendezvous
+// listener — the parent-process half of the one-command local demo.
+func ReserveTCPAddr() (string, error) { return tcpnet.ReserveLoopbackAddr() }
+
+// TCPChildEnv returns the environment entries that hand a spawned worker
+// process its cluster coordinates; TCPConfigFromEnv reads them back.
+func TCPChildEnv(rendezvous string, p, rank int) []string {
+	return tcpnet.ChildEnv(rendezvous, p, rank)
+}
+
+// TCPConfigFromEnv reads the spawned-worker convention; ok is false when
+// this process was not launched as a tcpnet worker.
+func TCPConfigFromEnv() (cfg TCPConfig, ok bool, err error) { return tcpnet.FromEnv() }
+
+// TrainTCPRank is the worker-process body shared by cmd/spardl-worker and
+// the children cmd/spardl-train forks: join the mesh described by tcp, run
+// one rank of the training session over it (cfg.P and cfg.Backend are set
+// from the established endpoint), and tear the endpoint down. onStart, if
+// non-nil, runs once the mesh is up (banner printing). The returned rank
+// tells the caller whether it owns the cluster's stdout (rank 0 carries
+// the trajectory); a poisoned fabric or worker panic comes back as an
+// error so CLI workers can exit cleanly instead of dumping a stack.
+func TrainTCPRank(tcp TCPConfig, cfg TrainConfig, onStart func(rank, p int)) (res *TrainResult, rank int, err error) {
+	ep, err := TCPStart(tcp)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer ep.Close()
+	rank = ep.Rank()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rank %d failed: %v", rank, r)
+		}
+	}()
+	if onStart != nil {
+		onStart(ep.Rank(), ep.P())
+	}
+	cfg.P = ep.P()
+	cfg.Backend = TCPSelfBackend(ep)
+	return Train(cfg), rank, nil
+}
+
+// ForkTCPWorkers is the one-command local demo helper: it reserves a
+// loopback rendezvous address and re-executes the current binary once per
+// rank with the original arguments plus the cluster coordinates in the
+// environment (TCPConfigFromEnv reads them back in the children).
+// configure, if non-nil, adjusts each command (stdio, extra env) before it
+// starts. If any rank fails to spawn, the already-started workers are
+// killed rather than left to time out against a rendezvous that will
+// never complete; otherwise ForkTCPWorkers waits for every worker and
+// returns the first failure.
+func ForkTCPWorkers(p int, configure func(rank int, cmd *exec.Cmd)) error {
+	addr, err := ReserveTCPAddr()
+	if err != nil {
+		return err
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	cmds := make([]*exec.Cmd, p)
+	for rank := 0; rank < p; rank++ {
+		cmd := exec.Command(self, os.Args[1:]...)
+		cmd.Env = append(os.Environ(), TCPChildEnv(addr, p, rank)...)
+		cmd.Stderr = os.Stderr
+		if configure != nil {
+			configure(rank, cmd)
+		}
+		if err := cmd.Start(); err != nil {
+			for _, started := range cmds[:rank] {
+				started.Process.Kill()
+				started.Wait()
+			}
+			return fmt.Errorf("spawning worker %d: %w", rank, err)
+		}
+		cmds[rank] = cmd
+	}
+	var firstErr error
+	for rank, cmd := range cmds {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("worker process %d: %w", rank, err)
+		}
+	}
+	return firstErr
+}
 
 // Network / cluster simulation.
 type (
@@ -262,6 +427,22 @@ type (
 
 // Train runs one distributed S-SGD session on the simulated cluster.
 func Train(cfg TrainConfig) *TrainResult { return train.Run(cfg) }
+
+// FprintTrajectory writes the standard CLI trajectory table — iteration,
+// clock, held-out metric, and the one-line summary — shared by
+// spardl-train and spardl-worker so the two binaries' rank-0 output cannot
+// drift apart. Callers append their own per-backend breakdown line.
+func FprintTrajectory(w io.Writer, c *Case, res *TrainResult) {
+	metric := "loss"
+	if c.Accuracy {
+		metric = "accuracy"
+	}
+	fmt.Fprintf(w, "\n%-8s  %-12s  %-10s\n", "iter", "time(s)", metric)
+	for _, pt := range res.Points {
+		fmt.Fprintf(w, "%-8d  %-12.3f  %-10.4f\n", pt.Iter, pt.Time, pt.Metric)
+	}
+	fmt.Fprintf(w, "\n%s\n", res)
+}
 
 // Cases lists the paper's seven cases (Table II) as scaled stand-ins.
 func Cases() []*Case { return train.Cases }
