@@ -1,0 +1,84 @@
+// Command spardl-vet runs the repository's custom static-analysis suite —
+// nodeterm, floatcmp, arenasafe and hotalloc — over the given package
+// patterns and exits non-zero on any finding. CI runs it as a hard gate;
+// locally:
+//
+//	go run ./cmd/spardl-vet ./...
+//
+// Flags:
+//
+//	-list            print the analyzers and their docs, then exit
+//	-only name[,...] run only the named analyzers
+//
+// Findings print as file:line:col: [analyzer] message. A finding is
+// suppressed by a `//spardl:<analyzer-suppress> <reason>` comment on its
+// line or the line above — see README.md "Correctness tooling".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"spardl/internal/analysis"
+	"spardl/internal/analysis/framework"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "print the analyzers and their docs, then exit")
+	onlyFlag := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	suite := analysis.All()
+	if *listFlag {
+		for _, a := range suite {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *onlyFlag != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*onlyFlag, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var filtered []*framework.Analyzer
+		for _, a := range suite {
+			if want[a.Name] {
+				filtered = append(filtered, a)
+				delete(want, a.Name)
+			}
+		}
+		if len(want) > 0 || len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "spardl-vet: unknown analyzer in -only=%s (use -list)\n", *onlyFlag)
+			os.Exit(2)
+		}
+		suite = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := framework.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spardl-vet: %v\n", err)
+		os.Exit(2)
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := framework.Run(pkg, suite...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spardl-vet: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "spardl-vet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

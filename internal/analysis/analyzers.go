@@ -1,0 +1,26 @@
+// Package analysis registers the spardl-vet analyzer suite: the custom
+// static-analysis passes that mechanically enforce this repository's
+// cross-cutting source disciplines — bit-identical collectives (nodeterm),
+// total-order float comparison (floatcmp), arena chunk ownership
+// (arenasafe) and the allocation-free steady state (hotalloc). See each
+// analyzer's package documentation for its exact rules and README.md
+// ("Correctness tooling") for the workflow.
+package analysis
+
+import (
+	"spardl/internal/analysis/arenasafe"
+	"spardl/internal/analysis/floatcmp"
+	"spardl/internal/analysis/framework"
+	"spardl/internal/analysis/hotalloc"
+	"spardl/internal/analysis/nodeterm"
+)
+
+// All returns the full spardl-vet suite in reporting order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		nodeterm.Analyzer,
+		floatcmp.Analyzer,
+		arenasafe.Analyzer,
+		hotalloc.Analyzer,
+	}
+}

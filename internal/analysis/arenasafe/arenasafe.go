@@ -1,0 +1,361 @@
+// Package arenasafe enforces the sparse.Arena ownership discipline at the
+// source level. Arena chunks live inside epoch-recycled slabs: storage is
+// reclaimed two Resets after it was handed out, and Recycle is the
+// caller's assertion that no reference survives. The rules (documented on
+// sparse.Arena) are easy to state and easy to break a PR later:
+//
+//   - a chunk obtained from an Arena must not outlive the epoch — flagged
+//     when an arena-derived chunk is stored into a struct field or a
+//     package-level variable, sent on a channel, or captured by a
+//     goroutine launched in the same function;
+//   - a chunk must not be used after it was recycled — flagged when any
+//     statement after `a.Recycle(c)` in the same block still mentions c,
+//     including a second Recycle (which panics at runtime);
+//   - a function-local chunk that is only ever read — never returned,
+//     never handed to another function, never recycled — should be
+//     recycled (or not allocated): the arena cannot reuse its storage
+//     until the epoch ends, which inflates the peak slab footprint of
+//     merge-heavy schedules.
+//
+// The analysis is intraprocedural and conservative: passing a chunk to any
+// call or returning it transfers ownership and ends tracking.
+//
+// Suppress a deliberate exception with `//spardl:arena-ok <reason>`.
+package arenasafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"spardl/internal/analysis/framework"
+)
+
+const sparsePkg = "spardl/internal/sparse"
+
+// Analyzer is the arenasafe pass.
+var Analyzer = &framework.Analyzer{
+	Name:     "arenasafe",
+	Doc:      "enforce sparse.Arena chunk ownership: no escapes past the epoch, no use after Recycle, no abandoned function-local chunks",
+	Suppress: "arena-ok",
+	Run:      run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// chunkVar tracks one arena-derived *sparse.Chunk local.
+type chunkVar struct {
+	method      string // the Arena method that produced it
+	transferred bool   // returned, passed to a call, aliased, or stored
+	recycled    bool
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	chunks := make(map[*types.Var]*chunkVar)
+
+	// Named results and parameters are owned by the caller/callee contract,
+	// not this function body; they are exempt from the local-leak rule.
+	boundary := make(map[*types.Var]bool)
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				boundary[v] = true
+			}
+		}
+	}
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					boundary[v] = true
+				}
+			}
+		}
+	}
+
+	// Pass 1: find arena-derived chunk vars (x := a.Get(n), kept, dropped :=
+	// a.TopKChunk(...), including assignment to named results).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			method := arenaChunkMethod(info, call)
+			if method == "" {
+				continue
+			}
+			// Map results to LHS idents: single call with tuple results
+			// covers all LHS; element-wise assignment covers position i.
+			lhs := assign.Lhs
+			if len(assign.Rhs) == 1 && len(lhs) > 1 {
+				for _, l := range lhs {
+					trackLHS(info, chunks, l, method, call)
+				}
+			} else if i < len(lhs) {
+				trackLHS(info, chunks, lhs[i], method, call)
+			}
+		}
+		return true
+	})
+
+	// Pass 2: classify every use; flag escapes as they are found.
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssignEscape(pass, info, chunks, n)
+		case *ast.SendStmt:
+			if cv, v := chunkUse(info, chunks, n.Value); cv != nil {
+				cv.transferred = true
+				pass.Reportf(n.Value.Pos(),
+					"arena chunk %s escapes on a channel send; receivers outlive the epoch that owns its storage", v.Name())
+			}
+		case *ast.GoStmt:
+			checkGoEscape(pass, info, chunks, n)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if cv, _ := chunkUse(info, chunks, res); cv != nil {
+					cv.transferred = true
+				}
+			}
+		case *ast.CallExpr:
+			classifyCallArgs(info, chunks, n)
+		}
+		return true
+	})
+
+	// Pass 3: statement-ordered scan per block for use-after-Recycle.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			checkBlock(pass, info, chunks, n.List)
+		case *ast.CaseClause:
+			checkBlock(pass, info, chunks, n.Body)
+		case *ast.CommClause:
+			checkBlock(pass, info, chunks, n.Body)
+		}
+		return true
+	})
+
+	// Pass 4: abandoned locals.
+	for v, cv := range chunks {
+		if cv.transferred || cv.recycled || boundary[v] {
+			continue
+		}
+		if cv.method != "Get" && cv.method != "Clone" {
+			continue // headers over foreign storage have nothing to recycle
+		}
+		pass.Reportf(v.Pos(),
+			"function-local arena chunk %s (from Arena.%s) is never recycled, returned or handed off; Recycle it so the arena can reuse its storage within the epoch", v.Name(), cv.method)
+	}
+}
+
+func trackLHS(info *types.Info, chunks map[*types.Var]*chunkVar, lhs ast.Expr, method string, call *ast.CallExpr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || !framework.IsNamedType(v.Type(), sparsePkg, "Chunk") {
+		return
+	}
+	chunks[v] = &chunkVar{method: method}
+}
+
+// arenaChunkMethod returns the method name if call invokes a
+// chunk-producing method on *sparse.Arena, else "".
+func arenaChunkMethod(info *types.Info, call *ast.CallExpr) string {
+	fn := framework.Callee(info, call)
+	recv := framework.ReceiverNamed(fn)
+	if recv == nil || recv.Obj().Pkg() == nil ||
+		recv.Obj().Pkg().Path() != sparsePkg || recv.Obj().Name() != "Arena" {
+		return ""
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Results().Len() == 0 {
+		return ""
+	}
+	if !framework.IsNamedType(sig.Results().At(0).Type(), sparsePkg, "Chunk") {
+		return ""
+	}
+	return fn.Name()
+}
+
+// isRecycleCall reports whether call is <arena>.Recycle(x) and returns the
+// recycled variable when x is a plain identifier.
+func isRecycleCall(info *types.Info, call *ast.CallExpr) (*types.Var, bool) {
+	fn := framework.Callee(info, call)
+	recv := framework.ReceiverNamed(fn)
+	if recv == nil || fn.Name() != "Recycle" || recv.Obj().Pkg() == nil ||
+		recv.Obj().Pkg().Path() != sparsePkg || recv.Obj().Name() != "Arena" {
+		return nil, false
+	}
+	if len(call.Args) != 1 {
+		return nil, false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil, true
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v, true
+}
+
+// chunkUse resolves expr to a tracked chunk variable, if it is one.
+func chunkUse(info *types.Info, chunks map[*types.Var]*chunkVar, expr ast.Expr) (*chunkVar, *types.Var) {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	if cv, ok := chunks[v]; ok {
+		return cv, v
+	}
+	return nil, nil
+}
+
+func checkAssignEscape(pass *framework.Pass, info *types.Info, chunks map[*types.Var]*chunkVar, assign *ast.AssignStmt) {
+	pair := func(lhs, rhs ast.Expr) {
+		cv, v := chunkUse(info, chunks, rhs)
+		if cv == nil {
+			return
+		}
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr:
+			cv.transferred = true
+			pass.Reportf(rhs.Pos(),
+				"arena chunk %s escapes into field %s; struct state outlives the epoch that owns the chunk's storage", v.Name(), l.Sel.Name)
+		case *ast.Ident:
+			if obj, ok := info.Uses[l].(*types.Var); ok && obj.Parent() == obj.Pkg().Scope() {
+				cv.transferred = true
+				pass.Reportf(rhs.Pos(),
+					"arena chunk %s escapes into package variable %s and outlives the epoch", v.Name(), l.Name)
+			} else {
+				cv.transferred = true // local alias: tracking ends, conservatively owned elsewhere
+			}
+		default:
+			cv.transferred = true // index store etc.: local containers are fine
+		}
+	}
+	if len(assign.Lhs) == len(assign.Rhs) {
+		for i := range assign.Rhs {
+			pair(assign.Lhs[i], assign.Rhs[i])
+		}
+	}
+}
+
+func checkGoEscape(pass *framework.Pass, info *types.Info, chunks map[*types.Var]*chunkVar, g *ast.GoStmt) {
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if cv, tracked := chunks[v]; tracked {
+			cv.transferred = true
+			pass.Reportf(id.Pos(),
+				"arena chunk %s is shared with a goroutine; the arena owner contract is one worker goroutine at a time", v.Name())
+		}
+		return true
+	})
+}
+
+// classifyCallArgs marks chunks passed to calls (other than Recycle) as
+// ownership-transferred, which exempts them from the local-leak rule.
+func classifyCallArgs(info *types.Info, chunks map[*types.Var]*chunkVar, call *ast.CallExpr) {
+	if _, isRecycle := isRecycleCall(info, call); isRecycle {
+		return
+	}
+	for _, arg := range call.Args {
+		if cv, _ := chunkUse(info, chunks, arg); cv != nil {
+			cv.transferred = true
+		}
+	}
+}
+
+// checkBlock walks one statement list in order, tracking Recycle calls and
+// flagging later uses of the recycled chunk in the same list.
+func checkBlock(pass *framework.Pass, info *types.Info, chunks map[*types.Var]*chunkVar, stmts []ast.Stmt) {
+	recycledAt := make(map[*types.Var]bool)
+	for _, stmt := range stmts {
+		// Flag uses of already-recycled vars anywhere in this statement.
+		if len(recycledAt) > 0 {
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				v, ok := info.Uses[id].(*types.Var)
+				if !ok || !recycledAt[v] {
+					return true
+				}
+				if call, isSecond := recycleOf(info, stmt, id); isSecond {
+					pass.Reportf(call.Pos(),
+						"%s is recycled twice in this block; the second Recycle panics at runtime", v.Name())
+				} else {
+					pass.Reportf(id.Pos(),
+						"%s is used after Recycle; its storage may already back another chunk", v.Name())
+				}
+				delete(recycledAt, v) // one report per variable per block
+				return true
+			})
+		}
+		if expr, ok := stmt.(*ast.ExprStmt); ok {
+			if call, ok := expr.X.(*ast.CallExpr); ok {
+				if v, isRecycle := isRecycleCall(info, call); isRecycle && v != nil {
+					if cv, tracked := chunks[v]; tracked {
+						cv.recycled = true
+					}
+					recycledAt[v] = true
+				}
+			}
+		}
+	}
+}
+
+// recycleOf reports whether the use of id inside stmt is itself the
+// argument of a Recycle call (a double recycle rather than a plain use).
+func recycleOf(info *types.Info, stmt ast.Stmt, id *ast.Ident) (*ast.CallExpr, bool) {
+	var found *ast.CallExpr
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found != nil {
+			return true
+		}
+		if _, isRecycle := isRecycleCall(info, call); isRecycle &&
+			len(call.Args) == 1 && ast.Unparen(call.Args[0]) == id {
+			found = call
+		}
+		return true
+	})
+	return found, found != nil
+}

@@ -1,0 +1,12 @@
+package arenasafe_test
+
+import (
+	"testing"
+
+	"spardl/internal/analysis/analysistest"
+	"spardl/internal/analysis/arenasafe"
+)
+
+func TestOwnershipRules(t *testing.T) {
+	analysistest.Run(t, "testdata/arena", arenasafe.Analyzer)
+}

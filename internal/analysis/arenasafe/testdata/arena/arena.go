@@ -1,0 +1,90 @@
+// Package sparsecoll is an arenasafe fixture exercising every ownership
+// rule against the real sparse.Arena API.
+package sparsecoll
+
+import "spardl/internal/sparse"
+
+type cache struct {
+	held *sparse.Chunk
+}
+
+var global *sparse.Chunk
+
+// Storing an arena chunk into a struct field outlives the epoch.
+func (s *cache) stash(a *sparse.Arena) {
+	c := a.Get(8)
+	s.held = c // want `arena chunk c escapes into field held`
+}
+
+// Storing an arena chunk into a package variable outlives the epoch.
+func publish(a *sparse.Arena) {
+	c := a.Get(8)
+	global = c // want `arena chunk c escapes into package variable global`
+}
+
+// Sending an arena chunk on a channel hands it to a receiver that outlives
+// the epoch.
+func send(a *sparse.Arena, ch chan<- *sparse.Chunk) {
+	c := a.Get(8)
+	ch <- c // want `arena chunk c escapes on a channel send`
+}
+
+// Sharing an arena chunk with a goroutine breaks the one-owner contract.
+func fanOut(a *sparse.Arena, dense []float32) {
+	c := a.FromDense(dense, 0, len(dense))
+	go func() {
+		c.AddToDense(dense) // want `arena chunk c is shared with a goroutine`
+	}()
+}
+
+// Using a chunk after Recycle reads storage that may already back another
+// chunk; recycling twice panics at runtime.
+func useAfterRecycle(a *sparse.Arena, dense []float32) int {
+	c := a.FromDense(dense, 0, len(dense))
+	a.Recycle(c)
+	return c.Len() // want `c is used after Recycle`
+}
+
+func doubleRecycle(a *sparse.Arena, dense []float32) {
+	c := a.FromDense(dense, 0, len(dense))
+	a.Recycle(c)
+	a.Recycle(c) // want `c is recycled twice in this block`
+}
+
+// A chunk that is only read and then abandoned pins slab storage until the
+// epoch ends.
+func leak(a *sparse.Arena, x *sparse.Chunk) int {
+	tmp := a.Clone(x) // want `function-local arena chunk tmp \(from Arena.Clone\) is never recycled`
+	n := tmp.Len()
+	return n
+}
+
+// The sanctioned shape: allocate, use, recycle — or transfer ownership by
+// returning / passing the chunk on.
+func merge(a *sparse.Arena, x, y *sparse.Chunk) *sparse.Chunk {
+	tmp := a.Clone(x)
+	out := a.MergeAdd(tmp, y)
+	a.Recycle(tmp)
+	return out
+}
+
+// Recycling inside one branch does not poison uses in the other.
+func branchRecycle(a *sparse.Arena, x *sparse.Chunk, keep bool) *sparse.Chunk {
+	c := a.Clone(x)
+	if !keep {
+		a.Recycle(c)
+		return a.Get(0)
+	}
+	return c
+}
+
+// A reviewed exception survives with a reason.
+type snapshot struct {
+	last *sparse.Chunk
+}
+
+func (s *snapshot) record(a *sparse.Arena, x *sparse.Chunk) {
+	c := a.Clone(x)
+	//spardl:arena-ok diagnostic snapshot is read before the next Reset and never after
+	s.last = c
+}

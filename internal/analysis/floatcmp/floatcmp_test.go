@@ -1,0 +1,16 @@
+package floatcmp_test
+
+import (
+	"testing"
+
+	"spardl/internal/analysis/analysistest"
+	"spardl/internal/analysis/floatcmp"
+)
+
+func TestSelectionPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/sel", floatcmp.Analyzer)
+}
+
+func TestOtherPackageExempt(t *testing.T) {
+	analysistest.Run(t, "testdata/other", floatcmp.Analyzer)
+}

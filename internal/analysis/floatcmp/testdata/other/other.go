@@ -1,0 +1,14 @@
+// Package expt is a floatcmp fixture for the negative path: packages
+// outside the selection/merge set may compare floats freely (plot scales,
+// timing summaries).
+package expt
+
+func axisMax(xs []float32) float32 {
+	m := float32(1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,80 @@
+// Package sparse is a floatcmp fixture: its name places it in the
+// selection/merge set, where float32 values are gradient data and raw IEEE
+// ordering must be flagged.
+package sparse
+
+import (
+	"math"
+	"slices"
+)
+
+func absKey(v float32) uint32 { return math.Float32bits(v) &^ (1 << 31) }
+
+// The PR-5 bug class: a raw-magnitude quickselect partition step.
+func partitionRaw(vals []float32, pivot float32) int {
+	i := 0
+	for _, v := range vals {
+		if v > pivot { // want `raw float32 > is not a total order`
+			i++
+		}
+	}
+	return i
+}
+
+// A raw threshold test drops NaN-poisoned entries asymmetrically.
+func keepAbove(vals []float32, thr float32) []float32 {
+	kept := vals[:0]
+	for _, v := range vals {
+		if v >= thr { // want `raw float32 >= is not a total order`
+			kept = append(kept, v)
+		}
+	}
+	return kept
+}
+
+// Sorting gradients with the raw IEEE order leaves NaNs wherever the
+// pivot walk abandoned them.
+func sortMagnitudes(vals []float32) {
+	slices.Sort(vals) // want `slices.Sort on \[\]float32 uses raw IEEE order`
+}
+
+// Routing through total-order bit keys is the sanctioned pattern.
+func partitionKeyed(vals []float32, pivot float32) int {
+	pk := absKey(pivot)
+	i := 0
+	for _, v := range vals {
+		if absKey(v) > pk {
+			i++
+		}
+	}
+	return i
+}
+
+// Sign and emptiness tests against the zero constant are deterministic for
+// every input including NaN and are exempt.
+func abs(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Control state kept in float64 never holds gradient data and is exempt.
+func adaptTarget(target, bound float64) float64 {
+	if target > bound {
+		return bound
+	}
+	return target
+}
+
+// A reviewed exception survives with a reason.
+func maxFinite(vals []float32) float32 {
+	best := float32(0)
+	for _, v := range vals {
+		//spardl:floatcmp-ok inputs validated finite by the caller's codec fuzz gate
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

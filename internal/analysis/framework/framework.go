@@ -1,0 +1,172 @@
+// Package framework is a self-contained, stdlib-only re-implementation of
+// the golang.org/x/tools/go/analysis core: an Analyzer runs over one
+// type-checked package at a time and reports position-anchored diagnostics.
+//
+// The repository cannot vendor x/tools (the build environment is offline
+// and the module has no external dependencies by policy), so this package
+// provides the same shape — Analyzer, Pass, Reportf — on top of go/ast,
+// go/types and `go list -export`. Analyzers written against it read like
+// ordinary go/analysis analyzers and could be ported verbatim if x/tools
+// ever becomes available.
+//
+// # Suppression directives
+//
+// Every analyzer carries a Suppress name; a finding on line L is dropped
+// when line L or line L-1 holds a comment of the form
+//
+//	//spardl:<suppress-name> <reason>
+//
+// with a non-empty reason. A bare directive without a reason does not
+// suppress — the discipline is "every exception is explained", mirroring
+// //nolint:… linters that require a justification.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (e.g. "nodeterm").
+	Name string
+	// Doc is the one-paragraph description `spardl-vet -help` prints.
+	Doc string
+	// Suppress is the directive suffix that silences a finding:
+	// a comment `//spardl:<Suppress> <reason>` on the finding's line or
+	// the line above it.
+	Suppress string
+	// Run executes the pass and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run over one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// suppressed maps file name -> line -> directive names present with a
+	// reason on that line. Built once per package by newPass.
+	suppressed map[string]map[int][]string
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// directiveRE matches `//spardl:<name> <reason>` comments. The reason is
+// mandatory for suppression directives; marker directives like
+// //spardl:hotpath take no reason.
+var directiveRE = regexp.MustCompile(`^//spardl:([a-z0-9-]+)(?:[ \t]+(.*))?$`)
+
+// Reportf records a finding at pos unless a matching suppression directive
+// covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.isSuppressed(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) isSuppressed(pos token.Position) bool {
+	lines := p.suppressed[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == p.Analyzer.Suppress {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasDirective reports whether the comment group carries the given
+// //spardl:<name> directive (e.g. "hotpath" on a function's doc comment).
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if m := directiveRE.FindStringSubmatch(c.Text); m != nil && m[1] == name {
+			return true
+		}
+	}
+	return false
+}
+
+// newPass builds a Pass for one analyzer over a loaded package, including
+// the per-file suppression index.
+func newPass(a *Analyzer, pkg *Package, diags *[]Diagnostic) *Pass {
+	suppressed := make(map[string]map[int][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRE.FindStringSubmatch(c.Text)
+				if m == nil || !strings.HasSuffix(m[1], "-ok") || strings.TrimSpace(m[2]) == "" {
+					continue // not a suppression, or missing the mandatory reason
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if suppressed[pos.Filename] == nil {
+					suppressed[pos.Filename] = make(map[int][]string)
+				}
+				suppressed[pos.Filename][pos.Line] = append(suppressed[pos.Filename][pos.Line], m[1])
+			}
+		}
+	}
+	return &Pass{
+		Analyzer:   a,
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		TypesInfo:  pkg.TypesInfo,
+		suppressed: suppressed,
+		diags:      diags,
+	}
+}
+
+// Run executes the analyzers over the package and returns their findings
+// sorted by position.
+func Run(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if err := a.Run(newPass(a, pkg, &diags)); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		di, dj := diags[i], diags[j]
+		if di.Pos.Filename != dj.Pos.Filename {
+			return di.Pos.Filename < dj.Pos.Filename
+		}
+		if di.Pos.Line != dj.Pos.Line {
+			return di.Pos.Line < dj.Pos.Line
+		}
+		if di.Pos.Column != dj.Pos.Column {
+			return di.Pos.Column < dj.Pos.Column
+		}
+		return di.Analyzer < dj.Analyzer
+	})
+	return diags, nil
+}

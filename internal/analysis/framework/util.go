@@ -1,0 +1,100 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the called function (or method) of call, or nil for
+// builtins, conversions and calls through function-typed variables.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the named package-level function (or
+// method-set-free object) of the package with the given import path.
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// IsBuiltin reports whether call invokes the named builtin (append, make…).
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// ReceiverNamed returns the named type of fn's receiver (through one
+// pointer), or nil for package-level functions.
+func ReceiverNamed(fn *types.Func) *types.Named {
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// IsNamedType reports whether t (through one pointer) is the named type
+// pkgPath.name.
+func IsNamedType(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// IsFloat32 reports whether t's underlying type is float32.
+func IsFloat32(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float32
+}
+
+// EnclosedByPanic reports whether node n within the subtree root appears
+// inside the argument list of a panic() call — panic paths are cold, so
+// allocation rules exempt them.
+func EnclosedByPanic(info *types.Info, root ast.Node, n ast.Node) bool {
+	var stack []ast.Node
+	result := false
+	ast.Inspect(root, func(cur ast.Node) bool {
+		if cur == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, cur)
+		if cur == n {
+			for _, anc := range stack[:len(stack)-1] {
+				if call, ok := anc.(*ast.CallExpr); ok && IsBuiltin(info, call, "panic") {
+					result = true
+				}
+			}
+		}
+		return true
+	})
+	return result
+}

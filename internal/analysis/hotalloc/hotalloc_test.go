@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"spardl/internal/analysis/analysistest"
+	"spardl/internal/analysis/hotalloc"
+)
+
+func TestHotpathRules(t *testing.T) {
+	analysistest.Run(t, "testdata/hot", hotalloc.Analyzer)
+}

@@ -1,0 +1,77 @@
+// Package sparsecoll is a hotalloc fixture: the //spardl:hotpath directive
+// opts a function into the allocation rules; unannotated functions are
+// exempt however they allocate.
+package sparsecoll
+
+import (
+	"fmt"
+
+	"spardl/internal/sparse"
+)
+
+//spardl:hotpath
+func reduceLoopAllocs(rounds int, ks []int) []int {
+	var out []int
+	for r := 0; r < rounds; r++ {
+		scratch := make([]int, 8)              // want `make allocates on every loop iteration`
+		pairs := []int{r, r}                   // want `composite literal allocates on every loop iteration`
+		out = append(out, scratch[0]+pairs[0]) // want `append to out grows an unsized slice inside a loop`
+	}
+	return out
+}
+
+//spardl:hotpath
+func reduceFormats(step int) string {
+	return fmt.Sprintf("step=%d", step) // want `fmt.Sprintf allocates`
+}
+
+//spardl:hotpath
+func reduceBoxes(c sparse.Chunk, sink func(any)) {
+	sink(c) // want `sparse.Chunk value boxed into an interface allocates an escaping copy`
+}
+
+//spardl:hotpath
+func reduceCaptures(vals []float32) func() float32 {
+	total := float32(0)
+	f := func() float32 { // want `closure captures vals`
+		for _, v := range vals {
+			total += v
+		}
+		return total
+	}
+	return f
+}
+
+// The sanctioned shapes: pre-sized append targets, pointer payloads,
+// capture-free literals, panic-only formatting.
+//
+//spardl:hotpath
+func reduceClean(c *sparse.Chunk, out []float32, sink func(any)) []float32 {
+	if c.Len() != len(out) {
+		panic(fmt.Sprintf("hotalloc fixture: %d entries for %d slots", c.Len(), len(out)))
+	}
+	buf := make([]float32, 0, c.Len())
+	for i, v := range c.Val {
+		buf = append(buf, v+out[i])
+		out[i] = buf[i]
+	}
+	sink(c) // a *sparse.Chunk fits the interface word: no allocation
+	return buf
+}
+
+//spardl:hotpath
+func reduceSuppressed(counts []int, send func(any)) {
+	for _, n := range counts {
+		//spardl:alloc-ok one 4-byte count box per round is the transport contract
+		send(n)
+	}
+}
+
+// Unannotated code may allocate freely.
+func coldPath(rounds int) []string {
+	var out []string
+	for i := 0; i < rounds; i++ {
+		out = append(out, fmt.Sprintf("round %d", i))
+	}
+	return out
+}

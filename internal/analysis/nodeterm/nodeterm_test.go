@@ -1,0 +1,16 @@
+package nodeterm_test
+
+import (
+	"testing"
+
+	"spardl/internal/analysis/analysistest"
+	"spardl/internal/analysis/nodeterm"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, "testdata/det", nodeterm.Analyzer)
+}
+
+func TestNonDeterministicPackageExempt(t *testing.T) {
+	analysistest.Run(t, "testdata/nondet", nodeterm.Analyzer)
+}

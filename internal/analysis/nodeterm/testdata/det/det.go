@@ -1,0 +1,77 @@
+// Package collective is a nodeterm fixture: its name places it in the
+// deterministic set, so every nondeterministic construct below must be
+// flagged unless explicitly suppressed with a reason.
+package collective
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Packed order reaches the wire, so the raw map range must be flagged.
+func packUnsorted(m map[int]float32) []float32 {
+	out := make([]float32, 0, len(m))
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		out = append(out, v)
+	}
+	return out
+}
+
+// Collecting keys for sorting is the sanctioned pattern, but the collection
+// range itself still needs a suppression with a reason.
+func packSorted(m map[int]float32) []float32 {
+	keys := make([]int, 0, len(m))
+	//spardl:nondeterministic-ok keys are sorted before any order-sensitive use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]float32, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// A bare directive without a reason must not suppress.
+func packUnjustified(m map[int]float32) []int {
+	keys := make([]int, 0, len(m))
+	//spardl:nondeterministic-ok
+	for k := range m { // want `map iteration order is nondeterministic`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func stampAndJitter() (int64, int, time.Duration) {
+	t := time.Now().UnixNano()   // want `time.Now is wall-clock state`
+	j := rand.Intn(10)           // want `rand.Intn draws from the globally seeded source`
+	d := time.Since(time.Time{}) // want `time.Since is wall-clock state`
+	return t, j, d
+}
+
+// An explicitly seeded generator is deterministic and allowed.
+func seededShuffle(xs []int, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+func firstReady(a, b <-chan int) int {
+	select { // want `select over 2 communication cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// A single comm case (with or without default) has no readiness race.
+func tryRecv(a <-chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}

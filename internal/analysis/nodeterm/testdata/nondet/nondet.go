@@ -1,0 +1,19 @@
+// Package expt is a nodeterm fixture for the negative path: experiment
+// drivers and other non-deterministic-set packages may use wall clocks,
+// the global rand and map iteration freely.
+package expt
+
+import (
+	"math/rand"
+	"time"
+)
+
+func sampleLatency(m map[string]time.Duration) time.Duration {
+	start := time.Now()
+	for _, d := range m {
+		if rand.Intn(2) == 0 {
+			return d
+		}
+	}
+	return time.Since(start)
+}

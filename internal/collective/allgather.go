@@ -62,6 +62,8 @@ func BruckAllGather(ep comm.Endpoint, ranks []int, pos int, own any, size SizeFu
 // BruckAllGatherAlloc is BruckAllGather with the item slices drawn from
 // alloc (see Allocator) — the steady-state allocation-free path every
 // arena-backed reducer uses.
+//
+//spardl:hotpath
 func BruckAllGatherAlloc(ep comm.Endpoint, ranks []int, pos int, own any, size SizeFunc, alloc Allocator) []any {
 	g := len(ranks)
 	if g == 0 || ranks[pos] != ep.Rank() {
@@ -83,6 +85,7 @@ func BruckAllGatherAlloc(ep comm.Endpoint, ranks []int, pos int, own any, size S
 		for _, it := range out {
 			bytes += size(it)
 		}
+		//spardl:alloc-ok the []any batch boxed into the payload is the Endpoint contract; one header per round, item storage is arena-backed
 		ep.Send(dst, out, bytes)
 		in, _ := ep.Recv(src)
 		held = append(held, in.([]any)...)
@@ -109,19 +112,30 @@ func RecursiveDoublingAllGather(ep comm.Endpoint, ranks []int, pos int, own any,
 	}
 	result := make([]any, g)
 	result[pos] = own
-	have := []int{pos} // member positions whose items we hold
 	for dist := 1; dist < g; dist *= 2 {
 		peer := pos ^ dist
-		out := make(map[int]any, len(have))
+		// After t = log₂(dist) completed steps a worker holds exactly its
+		// aligned 2^t block of member positions, [pos&^(dist-1), …+dist).
+		// Iterating that block arithmetically — rather than tracking a
+		// `have` set and ranging over the received map — makes pack and
+		// unpack order rank-order deterministic, so any future
+		// encoded-mode byte stream is bit-identical across runs.
+		base := pos &^ (dist - 1)
+		out := make(map[int]any, dist)
 		bytes := 0
-		for _, j := range have {
+		for j := base; j < base+dist; j++ {
 			out[j] = result[j]
 			bytes += size(result[j])
 		}
 		in, _ := ep.SendRecv(ranks[peer], out, bytes)
-		for j, it := range in.(map[int]any) {
+		m := in.(map[int]any)
+		peerBase := peer &^ (dist - 1)
+		for j := peerBase; j < peerBase+dist; j++ {
+			it, ok := m[j]
+			if !ok {
+				panic(fmt.Sprintf("collective: recursive doubling peer %d omitted member %d", ranks[peer], j))
+			}
 			result[j] = it
-			have = append(have, j)
 		}
 	}
 	return result

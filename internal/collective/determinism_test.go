@@ -1,0 +1,102 @@
+package collective
+
+import (
+	"fmt"
+	"testing"
+
+	"spardl/internal/simnet"
+)
+
+// packTrace records, for one worker, the member positions it packed for
+// transmission in schedule order. The SizeFunc of an all-gather is invoked
+// exactly once per packed item per round, so it doubles as a pack-order
+// probe: items carry their member position as a single payload byte.
+type packTrace struct {
+	order []int
+}
+
+func (tr *packTrace) size(it any) int {
+	b := it.([]byte)
+	tr.order = append(tr.order, int(b[0]))
+	return len(b)
+}
+
+// TestRecursiveDoublingPackOrderDeterministic pins the fix for the map-range
+// pack loop recursive doubling used to have: the set of held items was
+// tracked in a map, so the order items were sized and packed differed from
+// run to run (Go randomizes map iteration). The schedule now walks each
+// worker's aligned 2^t block arithmetically, so the pack order must be (a)
+// bit-identical across repeated runs and (b) ascending in member position
+// within every round — the canonical order an encoded byte stream would be
+// laid out in.
+func TestRecursiveDoublingPackOrderDeterministic(t *testing.T) {
+	const p = 8
+	const runs = 5
+	var baseline [][]int // per-rank pack order from run 0
+	for run := 0; run < runs; run++ {
+		traces := make([]packTrace, p)
+		simnet.Run(p, unit, func(rank int, ep *simnet.Endpoint) {
+			got := RecursiveDoublingAllGather(ep, WorldRanks(p), rank, []byte{byte(rank)}, traces[rank].size)
+			for j, it := range got {
+				if it.([]byte)[0] != byte(j) {
+					t.Errorf("run %d rank %d: item %d wrong", run, rank, j)
+				}
+			}
+		})
+		for rank := 0; rank < p; rank++ {
+			// Rounds pack 1, 2, then 4 items: each round re-sends the
+			// worker's whole aligned block, ascending in member position.
+			want := fmt.Sprint(expectedPackOrder(rank, p))
+			if got := fmt.Sprint(traces[rank].order); got != want {
+				t.Fatalf("run %d rank %d: pack order %s, want ascending blocks %s", run, rank, got, want)
+			}
+		}
+		orders := make([][]int, p)
+		for rank := range traces {
+			orders[rank] = traces[rank].order
+		}
+		if run == 0 {
+			baseline = orders
+			continue
+		}
+		for rank := 0; rank < p; rank++ {
+			if fmt.Sprint(orders[rank]) != fmt.Sprint(baseline[rank]) {
+				t.Fatalf("rank %d: pack order changed between runs: %v vs %v", rank, baseline[rank], orders[rank])
+			}
+		}
+	}
+}
+
+// expectedPackOrder returns the deterministic schedule: at step dist the
+// worker packs its aligned block [pos&^(dist-1), pos&^(dist-1)+dist) in
+// ascending member order.
+func expectedPackOrder(pos, p int) []int {
+	var order []int
+	for dist := 1; dist < p; dist *= 2 {
+		base := pos &^ (dist - 1)
+		for j := base; j < base+dist; j++ {
+			order = append(order, j)
+		}
+	}
+	return order
+}
+
+// TestRecursiveDoublingRejectsIncompleteBlock pins the unpack contract: a
+// peer that omits a member of its aligned block indicates a schedule bug,
+// and the receiver must panic rather than silently gather a nil item.
+func TestRecursiveDoublingRejectsIncompleteBlock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on omitted block member")
+		}
+	}()
+	simnet.Run(2, unit, func(rank int, ep *simnet.Endpoint) {
+		if rank == 0 {
+			// Impersonate the schedule but ship an empty map; rank 1's
+			// unpack loop must reject it.
+			ep.SendRecv(1, map[int]any{}, 0)
+			return
+		}
+		RecursiveDoublingAllGather(ep, WorldRanks(2), 1, []byte{1}, itemBytes)
+	})
+}

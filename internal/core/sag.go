@@ -18,6 +18,8 @@ import (
 // (The paper states the ½ rule for one exchange, which is exact for d = 2;
 // the generalization keeps the cluster-wide conservation law exact for all
 // d — see DESIGN.md §7.)
+//
+//spardl:hotpath
 func (s *SparDL) runRSAG(ep comm.Endpoint, mine *sparse.Chunk) *sparse.Chunk {
 	share := float32(0.5)
 	for dist := 1; dist < s.d; dist *= 2 {
@@ -49,6 +51,8 @@ func (s *SparDL) runRSAG(ep comm.Endpoint, mine *sparse.Chunk) *sparse.Chunk {
 // so that the merged count N_t lands near L(k,d,P) — and one final top-L
 // selection after it, which is identical on all members of the position
 // group. Cost: Eq. 8.
+//
+//spardl:hotpath
 func (s *SparDL) runBSAG(ep comm.Endpoint, mine *sparse.Chunk) *sparse.Chunk {
 	h := s.hctl.H()
 	sel, dropped := s.ar.TopKChunk(mine, h)

@@ -187,6 +187,8 @@ func (s *SparDL) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 // synchronization whose result overwrites out (len n). At steady state the
 // call is allocation-free: chunks come from the reducer's arena (epoch-
 // reset here), dense scratch is persistent per-reducer state.
+//
+//spardl:hotpath
 func (s *SparDL) ReduceInto(ep comm.Endpoint, grad, out []float32) {
 	if len(grad) != s.n || len(out) != s.n {
 		panic(fmt.Sprintf("core: gradient/output length %d/%d, expected %d", len(grad), len(out), s.n))
@@ -234,9 +236,11 @@ func (s *SparDL) ReduceInto(ep comm.Endpoint, grad, out []float32) {
 	}
 
 	// Phase 3: Bruck all-gather of the reduced blocks inside the team.
-	var finalChunks []*sparse.Chunk
+	// finalChunks is always born with exact arena capacity so the appends
+	// below never grow it.
+	finalChunks := s.ar.Chunks(1)
 	if s.m == 1 {
-		finalChunks = append(s.ar.Chunks(1), reserved)
+		finalChunks = append(finalChunks, reserved)
 	} else {
 		own := s.tx.PackItem(reserved)
 		items := collective.BruckAllGatherAlloc(ep, s.teamRanks, s.pos, own, s.tx.ItemBytes, s.ar)
@@ -269,6 +273,8 @@ func (s *SparDL) ReduceInto(ep comm.Endpoint, grad, out []float32) {
 // are summed into acc (Theorem 1 guarantees they fall into still-held
 // blocks). After l steps only the preservation block remains, which is
 // sparsified last (Algorithm 1, line 9).
+//
+//spardl:hotpath
 func (s *SparDL) runSRS(ep comm.Endpoint, acc []float32, localSel *[]int32) *sparse.Chunk {
 	m, pos := s.m, s.pos
 	l := len(s.bags)
@@ -301,6 +307,8 @@ func (s *SparDL) runSRS(ep comm.Endpoint, acc []float32, localSel *[]int32) *spa
 // runSRSEager is the unoptimized variant (the ablation baseline for the
 // "Optimization for SRS" paragraph): every block is sparsified up front and
 // re-sparsified immediately after each summation.
+//
+//spardl:hotpath
 func (s *SparDL) runSRSEager(ep comm.Endpoint, acc []float32, localSel *[]int32) *sparse.Chunk {
 	m, pos := s.m, s.pos
 	blocks := s.ar.Chunks(m)
@@ -345,6 +353,8 @@ func (s *SparDL) runSRSEager(ep comm.Endpoint, acc []float32, localSel *[]int32)
 
 // sparsifyDenseBlock selects the top blockK entries of acc[lo:hi); every
 // unselected value in the range is accumulated into the step residual ξ.
+//
+//spardl:hotpath
 func (s *SparDL) sparsifyDenseBlock(ep comm.Endpoint, acc []float32, lo, hi int, localSel *[]int32) *sparse.Chunk {
 	kept := s.ar.TopKDense(acc, lo, hi, s.blockK)
 	sparsecoll.ChargeScan(ep, hi-lo)
@@ -365,6 +375,8 @@ func (s *SparDL) sparsifyDenseBlock(ep comm.Endpoint, acc []float32, lo, hi int,
 // dropped partial sums, 1/2^(t+1) at R-SAG level t (2^(t+1) workers hold
 // identical data and drop identically), and 1/d after B-SAG's final
 // selection (all d members of the position group hold identical data).
+//
+//spardl:hotpath
 func addDrops(stepRes []float32, dropped *sparse.Chunk, share float32) {
 	for i, idx := range dropped.Idx {
 		stepRes[idx] += dropped.Val[i] * share
@@ -376,6 +388,8 @@ func addDrops(stepRes []float32, dropped *sparse.Chunk, share float32) {
 // made the final global gradient substitute the collected in-procedure
 // residual (GRES), zero (PRES), or — for LRES — zero at exactly the indices
 // this worker itself selected for transmission.
+//
+//spardl:hotpath
 func (s *SparDL) finishResidual(ep comm.Endpoint, snapshot []float32, finalChunks []*sparse.Chunk, localSel []int32) {
 	copy(s.residual, snapshot)
 	switch s.opts.Residual {

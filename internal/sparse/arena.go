@@ -193,6 +193,8 @@ func (a *Arena) hdr() *Chunk {
 // Get returns an empty chunk whose Idx/Val have capacity at least
 // `capacity` (rounded up to a power of two), owned by the current epoch.
 // On a nil arena it heap-allocates.
+//
+//spardl:hotpath
 func (a *Arena) Get(capacity int) *Chunk {
 	if a == nil {
 		return &Chunk{Idx: make([]int32, 0, capacity), Val: make([]float32, 0, capacity)}
@@ -283,6 +285,8 @@ func (a *Arena) Bytes(capacity int) []byte {
 }
 
 // Clone returns an arena-owned deep copy of c.
+//
+//spardl:hotpath
 func (a *Arena) Clone(c *Chunk) *Chunk {
 	out := a.Get(c.Len())
 	out.Idx = append(out.Idx, c.Idx...)
@@ -294,6 +298,8 @@ func (a *Arena) Clone(c *Chunk) *Chunk {
 // values at indices present in both are summed. Inputs are not modified.
 // See the package-level MergeAdd for the semantics; this variant allocates
 // the result from the arena.
+//
+//spardl:hotpath
 func (a *Arena) MergeAdd(x, y *Chunk) *Chunk {
 	if x == nil || x.Len() == 0 {
 		if y == nil {
@@ -311,6 +317,8 @@ func (a *Arena) MergeAdd(x, y *Chunk) *Chunk {
 
 // mergeAddInto merges x and y into out (which must be empty with
 // sufficient capacity).
+//
+//spardl:hotpath
 func mergeAddInto(out, x, y *Chunk) {
 	i, j := 0, 0
 	for i < len(x.Idx) && j < len(y.Idx) {
@@ -342,6 +350,8 @@ func mergeAddInto(out, x, y *Chunk) {
 // fresh arena chunk is returned and dst is recycled. dst must be local to
 // the caller: never a chunk that was sent to a peer or that shares
 // storage with one.
+//
+//spardl:hotpath
 func (a *Arena) MergeAddInto(dst, src *Chunk) *Chunk {
 	if src == nil || src.Len() == 0 {
 		if dst == nil {
@@ -412,6 +422,8 @@ const maxMergeShards = 8
 // space is split into shards merged concurrently, with results compacted
 // into one contiguous chunk. Both paths produce bit-identical output: for
 // every index, values are summed in input order.
+//
+//spardl:hotpath
 func (a *Arena) MergeAddAll(chunks []*Chunk) *Chunk {
 	act := a.Chunks(len(chunks))
 	total := 0
@@ -441,6 +453,8 @@ func (a *Arena) MergeAddAll(chunks []*Chunk) *Chunk {
 
 // kwayMerge merges the sorted inputs into out (empty, sufficient
 // capacity). pos, when non-nil, provides cursor scratch of len(act).
+//
+//spardl:hotpath
 func kwayMerge(out *Chunk, act []*Chunk, pos []int) {
 	if pos == nil {
 		pos = make([]int, len(act))
@@ -573,6 +587,8 @@ func searchIdx(idx []int32, bound int64) int {
 
 // Concat concatenates chunks covering pairwise-disjoint ascending ranges
 // into one arena-allocated chunk; see the package-level Concat.
+//
+//spardl:hotpath
 func (a *Arena) Concat(chunks []*Chunk) *Chunk {
 	total := 0
 	for _, c := range chunks {
@@ -598,6 +614,8 @@ func (a *Arena) Concat(chunks []*Chunk) *Chunk {
 
 // FromDense extracts the non-zero entries of dense[lo:hi) into an
 // arena-allocated chunk with absolute indices.
+//
+//spardl:hotpath
 func (a *Arena) FromDense(dense []float32, lo, hi int) *Chunk {
 	nz := 0
 	for i := lo; i < hi; i++ {
@@ -617,6 +635,8 @@ func (a *Arena) FromDense(dense []float32, lo, hi int) *Chunk {
 
 // Split cuts a chunk into per-block sub-chunks according to the partition,
 // with headers (sharing c's storage) and the slice itself arena-allocated.
+//
+//spardl:hotpath
 func (a *Arena) Split(p *Partition, c *Chunk) []*Chunk {
 	out := a.Chunks(p.Blocks)
 	pos := 0

@@ -80,6 +80,7 @@ func FromMap(m map[int32]float32) *Chunk {
 		Idx: make([]int32, 0, len(m)),
 		Val: make([]float32, 0, len(m)),
 	}
+	//spardl:nondeterministic-ok keys are sorted below before any order-sensitive use
 	for i := range m {
 		c.Idx = append(c.Idx, i)
 	}

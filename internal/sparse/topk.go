@@ -41,6 +41,8 @@ var keyPool SlicePool[uint32]
 // kthLargestKey returns the k-th largest key in keys (1-based k) using an
 // in-place iterative quickselect with median-of-three pivoting. keys is
 // clobbered. It panics if k is out of range.
+//
+//spardl:hotpath
 func kthLargestKey(keys []uint32, k int) uint32 {
 	if k < 1 || k > len(keys) {
 		panic("sparse: quickselect k out of range")
@@ -89,6 +91,8 @@ func kthLargestKey(keys []uint32, k int) uint32 {
 }
 
 // kthLargestAbsKey returns the key of the k-th largest magnitude in vals.
+//
+//spardl:hotpath
 func kthLargestAbsKey(vals []float32, k int) uint32 {
 	keys := keyPool.Get(len(vals))
 	for i, v := range vals {
@@ -116,6 +120,8 @@ func TopKChunk(c *Chunk, k int) (kept, dropped *Chunk) {
 }
 
 // TopKChunk is the arena-allocating variant of the package-level TopKChunk.
+//
+//spardl:hotpath
 func (a *Arena) TopKChunk(c *Chunk, k int) (kept, dropped *Chunk) {
 	n := c.Len()
 	if k >= n {
@@ -163,6 +169,8 @@ func TopKDense(dense []float32, lo, hi, k int) *Chunk {
 }
 
 // TopKDense is the arena-allocating variant of the package-level TopKDense.
+//
+//spardl:hotpath
 func (a *Arena) TopKDense(dense []float32, lo, hi, k int) *Chunk {
 	n := hi - lo
 	if n <= 0 || k <= 0 {
@@ -216,24 +224,31 @@ func (a *Arena) TopKDense(dense []float32, lo, hi, k int) *Chunk {
 
 // ThresholdChunk splits c into entries with |value| >= thr (kept) and the
 // rest (dropped). This is the "threshold pruning" primitive Ok-Topk uses in
-// place of exact top-k; the number of kept entries is data-dependent.
+// place of exact top-k; the number of kept entries is data-dependent. thr
+// is a magnitude (non-negative). The comparison runs in the total key
+// order (see absKey), so NaN/Inf entries rank above every finite threshold
+// and are kept — a raw float compare would silently drop them (every
+// ordered comparison against NaN is false) and desynchronize replicas.
 func ThresholdChunk(c *Chunk, thr float32) (kept, dropped *Chunk) {
 	return (*Arena)(nil).ThresholdChunk(c, thr)
 }
 
 // ThresholdChunk is the arena-allocating variant of the package-level
 // ThresholdChunk: one counting pass sizes both outputs exactly.
+//
+//spardl:hotpath
 func (a *Arena) ThresholdChunk(c *Chunk, thr float32) (kept, dropped *Chunk) {
+	thrKey := absKey(thr)
 	nk := 0
 	for _, v := range c.Val {
-		if abs32(v) >= thr {
+		if absKey(v) >= thrKey {
 			nk++
 		}
 	}
 	kept = a.Get(nk)
 	dropped = a.Get(c.Len() - nk)
 	for i, v := range c.Val {
-		if abs32(v) >= thr {
+		if absKey(v) >= thrKey {
 			kept.Idx = append(kept.Idx, c.Idx[i])
 			kept.Val = append(kept.Val, v)
 		} else {
@@ -244,23 +259,27 @@ func (a *Arena) ThresholdChunk(c *Chunk, thr float32) (kept, dropped *Chunk) {
 	return kept, dropped
 }
 
-// ThresholdDense extracts entries of dense[lo:hi) with |value| >= thr.
+// ThresholdDense extracts entries of dense[lo:hi) with |value| >= thr,
+// compared in the total key order like ThresholdChunk (NaN/Inf are kept).
 func ThresholdDense(dense []float32, lo, hi int, thr float32) *Chunk {
 	return (*Arena)(nil).ThresholdDense(dense, lo, hi, thr)
 }
 
 // ThresholdDense is the arena-allocating variant of the package-level
 // ThresholdDense.
+//
+//spardl:hotpath
 func (a *Arena) ThresholdDense(dense []float32, lo, hi int, thr float32) *Chunk {
+	thrKey := absKey(thr)
 	nk := 0
 	for i := lo; i < hi; i++ {
-		if v := dense[i]; v != 0 && abs32(v) >= thr {
+		if v := dense[i]; v != 0 && absKey(v) >= thrKey {
 			nk++
 		}
 	}
 	out := a.Get(nk)
 	for i := lo; i < hi; i++ {
-		if v := dense[i]; v != 0 && abs32(v) >= thr {
+		if v := dense[i]; v != 0 && absKey(v) >= thrKey {
 			out.Idx = append(out.Idx, int32(i))
 			out.Val = append(out.Val, v)
 		}

@@ -80,6 +80,8 @@ func (g *GTopk) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 }
 
 // ReduceInto implements InPlaceReducer; steady state is allocation-free.
+//
+//spardl:hotpath
 func (g *GTopk) ReduceInto(ep comm.Endpoint, grad, out []float32) {
 	acc, _ := g.accumulate(grad, g.residual)
 	p, me := ep.P(), ep.Rank()

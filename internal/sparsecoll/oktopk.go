@@ -110,6 +110,8 @@ func (o *OkTopk) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 }
 
 // ReduceInto implements InPlaceReducer; steady state is allocation-free.
+//
+//spardl:hotpath
 func (o *OkTopk) ReduceInto(ep comm.Endpoint, grad, out []float32) {
 	acc, snapshot := o.accumulate(grad, o.residual)
 	p, me := ep.P(), ep.Rank()
@@ -164,6 +166,7 @@ func (o *OkTopk) ReduceInto(ep comm.Endpoint, grad, out []float32) {
 	// from oversized blocks to the successor worker. All workers see the
 	// same counts, so sender/receiver decisions agree without extra sync.
 	world := o.world
+	//spardl:alloc-ok one boxed int per step for the balancing-count all-gather; counts <256 hit the runtime's static box cache
 	countItems := collective.BruckAllGatherAlloc(ep, world, me, mine.Len(), countBytes, o.ar)
 	if p > 1 {
 		total := 0

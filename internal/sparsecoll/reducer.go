@@ -123,6 +123,8 @@ func newScratch(n int) scratch {
 // accumulate starts an iteration: a new arena epoch, then grad+residual
 // into the persistent working vector with a snapshot (the "G_copy" of
 // Algorithm 1) for residual bookkeeping at the end.
+//
+//spardl:hotpath
 func (s *scratch) accumulate(grad, residual []float32) (acc, snapshot []float32) {
 	s.ar.Reset()
 	acc, snapshot = s.accBuf, s.snapBuf
@@ -135,6 +137,8 @@ func (s *scratch) accumulate(grad, residual []float32) (acc, snapshot []float32)
 }
 
 // scatterInto densifies reduced chunks into out, overwriting it fully.
+//
+//spardl:hotpath
 func scatterInto(out []float32, chunks []*sparse.Chunk) {
 	for i := range out {
 		out[i] = 0
@@ -150,6 +154,8 @@ func scatterInto(out []float32, chunks []*sparse.Chunk) {
 // allocation-free replacement for the per-iteration membership maps the
 // residual bookkeeping used to build (selection indices are sorted, so
 // binary search suffices).
+//
+//spardl:hotpath
 func containsIdx(sorted []int32, idx int32) bool {
 	lo, hi := 0, len(sorted)
 	for lo < hi {

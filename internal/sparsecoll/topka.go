@@ -47,6 +47,8 @@ func (t *TopkA) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 }
 
 // ReduceInto implements InPlaceReducer; steady state is allocation-free.
+//
+//spardl:hotpath
 func (t *TopkA) ReduceInto(ep comm.Endpoint, grad, out []float32) {
 	acc, _ := t.accumulate(grad, t.residual)
 

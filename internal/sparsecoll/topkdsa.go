@@ -63,6 +63,8 @@ func (t *TopkDSA) Reduce(ep comm.Endpoint, grad []float32) []float32 {
 }
 
 // ReduceInto implements InPlaceReducer; steady state is allocation-free.
+//
+//spardl:hotpath
 func (t *TopkDSA) ReduceInto(ep comm.Endpoint, grad, out []float32) {
 	acc, _ := t.accumulate(grad, t.residual)
 	p, me := ep.P(), ep.Rank()

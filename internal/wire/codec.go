@@ -103,6 +103,8 @@ func EncodeCOO(c *sparse.Chunk, lo, hi int32) []byte {
 
 // AppendCOO appends the COO encoding to dst and returns the extended
 // buffer, so callers with pooled storage avoid the per-message allocation.
+//
+//spardl:hotpath
 func AppendCOO(dst []byte, c *sparse.Chunk, lo, hi int32) []byte {
 	mustRange(c, lo, hi)
 	base := len(dst)
@@ -119,6 +121,8 @@ func AppendCOO(dst []byte, c *sparse.Chunk, lo, hi int32) []byte {
 }
 
 // appendZeros extends dst by n zero bytes (reusing capacity when present).
+//
+//spardl:hotpath
 func appendZeros(dst []byte, n int) []byte {
 	dst = slices.Grow(dst, n)
 	head := len(dst)
@@ -134,6 +138,8 @@ func EncodeDelta(c *sparse.Chunk, lo, hi int32) []byte {
 }
 
 // AppendDelta appends the delta encoding to dst.
+//
+//spardl:hotpath
 func AppendDelta(dst []byte, c *sparse.Chunk, lo, hi int32) []byte {
 	mustRange(c, lo, hi)
 	base := len(dst)
@@ -160,6 +166,8 @@ func EncodeBitmap(c *sparse.Chunk, lo, hi int32) []byte {
 }
 
 // AppendBitmap appends the bitmap encoding to dst.
+//
+//spardl:hotpath
 func AppendBitmap(dst []byte, c *sparse.Chunk, lo, hi int32) []byte {
 	mustRange(c, lo, hi)
 	span := int(hi - lo)
@@ -180,6 +188,8 @@ func AppendBitmap(dst []byte, c *sparse.Chunk, lo, hi int32) []byte {
 // EncodedBytes returns the size and format Encode would pick for a chunk
 // over [lo, hi), without allocating any buffer. Preference on size ties is
 // delta, then COO, then bitmap, matching Encode exactly.
+//
+//spardl:hotpath
 func EncodedBytes(c *sparse.Chunk, lo, hi int32) (int, Format) {
 	mustRange(c, lo, hi)
 	best, fmtBest := DeltaBytes(c, lo), FormatDelta
@@ -201,6 +211,8 @@ func Encode(c *sparse.Chunk, lo, hi int32) ([]byte, Format) {
 // AppendEncode appends the smallest of the three encodings to dst —
 // the allocation-free path byte-level transports and pooled send buffers
 // use.
+//
+//spardl:hotpath
 func AppendEncode(dst []byte, c *sparse.Chunk, lo, hi int32) ([]byte, Format) {
 	_, format := EncodedBytes(c, lo, hi)
 	return AppendFormat(dst, c, lo, hi, format), format
@@ -210,6 +222,8 @@ func AppendEncode(dst []byte, c *sparse.Chunk, lo, hi int32) ([]byte, Format) {
 // ran EncodedBytes (to size a buffer) pass its format here instead of
 // letting AppendEncode re-derive it — EncodedBytes walks every index for
 // the delta sizing, and the hot path must not pay that scan twice.
+//
+//spardl:hotpath
 func AppendFormat(dst []byte, c *sparse.Chunk, lo, hi int32, format Format) []byte {
 	switch format {
 	case FormatCOO:

@@ -78,6 +78,8 @@ func (t Transport) ChunkBytes(c *sparse.Chunk) int {
 }
 
 // Pack converts a chunk into a sendable payload and its accounted size.
+//
+//spardl:hotpath
 func (t Transport) Pack(c *sparse.Chunk) (payload any, bytes int) {
 	if t.Mode == ModeEncoded {
 		lo, hi := Range(c)
@@ -98,6 +100,8 @@ type sizedChunk struct {
 // PackItem packs a chunk destined for an all-gather, where the collective
 // re-evaluates its SizeFunc on every forwarding hop: the accounted size is
 // fixed here, at the owner, so hops stay O(1) in every mode.
+//
+//spardl:hotpath
 func (t Transport) PackItem(c *sparse.Chunk) any {
 	switch t.Mode {
 	case ModeEncoded:
@@ -113,6 +117,8 @@ func (t Transport) PackItem(c *sparse.Chunk) any {
 // Unpack reverses Pack and PackItem. A decode failure panics: inside the
 // simulator a corrupt buffer can only mean an encoder bug, never external
 // input.
+//
+//spardl:hotpath
 func (t Transport) Unpack(payload any) *sparse.Chunk {
 	switch v := payload.(type) {
 	case *sparse.Chunk:
@@ -120,17 +126,27 @@ func (t Transport) Unpack(payload any) *sparse.Chunk {
 	case *sizedChunk:
 		return v.c
 	case []byte:
-		c, err := DecodeArena(t.Arena, v)
-		if err != nil {
-			panic(fmt.Sprintf("wire: transport decode failed: %v", err))
-		}
-		return c
+		return t.decode(v)
 	}
 	panic(fmt.Sprintf("wire: transport cannot unpack %T", payload))
 }
 
+// decode is the concrete-typed decode path, shared by Unpack and
+// UnpackSlice so batch decodes do not re-box every buffer into an `any`.
+//
+//spardl:hotpath
+func (t Transport) decode(buf []byte) *sparse.Chunk {
+	c, err := DecodeArena(t.Arena, buf)
+	if err != nil {
+		panic(fmt.Sprintf("wire: transport decode failed: %v", err))
+	}
+	return c
+}
+
 // PackSlice packs a batch of chunks travelling in one message (e.g. one
 // SRS sending bag) and returns the summed accounted size.
+//
+//spardl:hotpath
 func (t Transport) PackSlice(cs []*sparse.Chunk) (payload any, bytes int) {
 	if t.Mode == ModeEncoded {
 		bufs := make([][]byte, len(cs))
@@ -152,6 +168,8 @@ func (t Transport) PackSlice(cs []*sparse.Chunk) (payload any, bytes int) {
 }
 
 // UnpackSlice reverses PackSlice.
+//
+//spardl:hotpath
 func (t Transport) UnpackSlice(payload any) []*sparse.Chunk {
 	switch v := payload.(type) {
 	case []*sparse.Chunk:
@@ -159,7 +177,7 @@ func (t Transport) UnpackSlice(payload any) []*sparse.Chunk {
 	case [][]byte:
 		cs := make([]*sparse.Chunk, len(v))
 		for i, buf := range v {
-			cs[i] = t.Unpack(buf)
+			cs[i] = t.decode(buf)
 		}
 		return cs
 	}
@@ -168,6 +186,8 @@ func (t Transport) UnpackSlice(payload any) []*sparse.Chunk {
 
 // ItemBytes is a collective.SizeFunc: it sizes every packed form, so one
 // Transport serves every all-gather regardless of mode.
+//
+//spardl:hotpath
 func (t Transport) ItemBytes(it any) int {
 	switch v := it.(type) {
 	case []byte:
