@@ -161,7 +161,7 @@ func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
 		if cv.transferred || cv.recycled || boundary[v] {
 			continue
 		}
-		if cv.method != "Get" && cv.method != "Clone" {
+		if cv.method != "Get" && cv.method != "GetDense" && cv.method != "Clone" {
 			continue // headers over foreign storage have nothing to recycle
 		}
 		pass.Reportf(v.Pos(),

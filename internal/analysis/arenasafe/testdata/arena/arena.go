@@ -59,6 +59,29 @@ func leak(a *sparse.Arena, x *sparse.Chunk) int {
 	return n
 }
 
+// Dense-block chunks follow the same ownership rules as sparse ones: a
+// GetDense result stored into a struct field outlives the epoch.
+func (s *cache) stashDense(a *sparse.Arena) {
+	c := a.GetDense(0, 128)
+	s.held = c // want `arena chunk c escapes into field held`
+}
+
+// An abandoned dense block pins an arena slab exactly like an abandoned
+// sparse chunk — GetDense storage is recyclable and must be recycled.
+func leakDense(a *sparse.Arena) float32 {
+	b := a.GetDense(0, 64) // want `function-local arena chunk b \(from Arena.GetDense\) is never recycled`
+	return b.Val[0]
+}
+
+// The sanctioned dense shape: allocate, scatter into, hand off.
+func denseFanIn(a *sparse.Arena, parts []*sparse.Chunk) *sparse.Chunk {
+	out := a.GetDense(0, 256)
+	for _, p := range parts {
+		p.AddToDense(out.Val)
+	}
+	return out
+}
+
 // The sanctioned shape: allocate, use, recycle — or transfer ownership by
 // returning / passing the chunk on.
 func merge(a *sparse.Arena, x, y *sparse.Chunk) *sparse.Chunk {

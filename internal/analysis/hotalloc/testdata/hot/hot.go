@@ -67,6 +67,33 @@ func reduceSuppressed(counts []int, send func(any)) {
 	}
 }
 
+// Densifying inside a hot merge loop must draw dense-block storage from
+// the arena, not the heap: a fresh span-sized slab per pairing is exactly
+// the per-iteration allocation the dense freelist exists to remove.
+//
+//spardl:hotpath
+func densifyPerPairing(chunks []*sparse.Chunk, span int) []float32 {
+	var last []float32
+	for _, c := range chunks {
+		block := make([]float32, span) // want `make allocates on every loop iteration`
+		c.AddToDense(block)
+		last = block
+	}
+	return last
+}
+
+// The sanctioned dense shape: one arena dense block, scattered into across
+// the whole fan-in, recycled storage reused on the next epoch.
+//
+//spardl:hotpath
+func densifyArena(a *sparse.Arena, chunks []*sparse.Chunk, span int) *sparse.Chunk {
+	out := a.GetDense(0, span)
+	for _, c := range chunks {
+		c.AddToDense(out.Val)
+	}
+	return out
+}
+
 // Unannotated code may allocate freely.
 func coldPath(rounds int) []string {
 	var out []string

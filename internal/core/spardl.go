@@ -93,6 +93,7 @@ func New(p, rank, n, k int, opts Options) (*SparDL, error) {
 		acc:      make([]float32, n),
 		snapshot: make([]float32, n),
 	}
+	s.ar.SetDensePolicy(opts.Dense)
 	s.tx = wire.Transport{Mode: opts.Wire, Arena: s.ar}
 	s.teamRanks = make([]int, m)
 	for j := range s.teamRanks {
@@ -151,6 +152,9 @@ func (s *SparDL) Name() string {
 	if s.opts.Wire != WireCOO {
 		name += "+" + s.opts.Wire.String()
 	}
+	if s.opts.Dense != sparse.DenseAdaptive {
+		name += "+dense-" + s.opts.Dense.String()
+	}
 	return name
 }
 
@@ -199,16 +203,19 @@ func (s *SparDL) ReduceInto(ep comm.Endpoint, grad, out []float32) {
 	s.ar.Reset()
 	// Plus the stored residuals onto the fresh gradients and snapshot the
 	// result (the G_copy of Algorithm 1, line 3). Both vectors are
-	// persistent scratch — nothing built inside Reduce aliases them.
+	// persistent scratch — nothing built inside Reduce aliases them. The
+	// residual add, snapshot copy and ξ clear fuse into a single pass: at
+	// paper-like n these four length-n vectors dominate the prologue, and
+	// one traversal keeps each cache line hot for all of them.
 	acc := s.acc
-	copy(acc, grad)
-	for i, r := range s.residual {
-		acc[i] += r
-	}
 	snapshot := s.snapshot
-	copy(snapshot, acc)
-	for i := range s.stepRes {
-		s.stepRes[i] = 0
+	stepRes := s.stepRes
+	residual := s.residual
+	for i, g := range grad {
+		v := g + residual[i]
+		acc[i] = v
+		snapshot[i] = v
+		stepRes[i] = 0
 	}
 	sparsecoll.ChargeScan(ep, s.n)
 
@@ -334,7 +341,7 @@ func (s *SparDL) runSRSEager(ep comm.Endpoint, acc []float32, localSel *[]int32)
 		ep.Send(target, pk, bytes)
 		in, _ := ep.Recv(source)
 		for _, c := range s.tx.UnpackSlice(in) {
-			b := s.part.BlockOf(c.Idx[0])
+			b := s.part.BlockOf(c.IdxAt(0))
 			sparsecoll.ChargeMerge(ep, c.Len()+blocks[b].Len())
 			// blocks[b] is local-only (never sent), so the merge may reuse
 			// its storage in place; the merged intermediate is recycled as
@@ -378,6 +385,13 @@ func (s *SparDL) sparsifyDenseBlock(ep comm.Endpoint, acc []float32, lo, hi int,
 //
 //spardl:hotpath
 func addDrops(stepRes []float32, dropped *sparse.Chunk, share float32) {
+	if dropped.IsDense() {
+		lo, _ := dropped.DenseRange()
+		for i, v := range dropped.Val {
+			stepRes[lo+int32(i)] += v * share
+		}
+		return
+	}
 	for i, idx := range dropped.Idx {
 		stepRes[idx] += dropped.Val[i] * share
 	}
@@ -395,12 +409,28 @@ func (s *SparDL) finishResidual(ep comm.Endpoint, snapshot []float32, finalChunk
 	switch s.opts.Residual {
 	case GRES:
 		for _, c := range finalChunks {
+			// Densified streams substitute over their whole block: every
+			// position of a dense chunk is an entry of the final gradient.
+			if c.IsDense() {
+				lo, hi := c.DenseRange()
+				for idx := lo; idx < hi; idx++ {
+					s.residual[idx] = s.stepRes[idx]
+				}
+				continue
+			}
 			for _, idx := range c.Idx {
 				s.residual[idx] = s.stepRes[idx]
 			}
 		}
 	case PRES:
 		for _, c := range finalChunks {
+			if c.IsDense() {
+				lo, hi := c.DenseRange()
+				for idx := lo; idx < hi; idx++ {
+					s.residual[idx] = 0
+				}
+				continue
+			}
 			for _, idx := range c.Idx {
 				s.residual[idx] = 0
 			}

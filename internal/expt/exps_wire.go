@@ -27,7 +27,7 @@ func init() {
 			for _, ratio := range []float64{1e-1, 1e-2, 1e-3, 1e-4} {
 				k := int(ratio * n)
 				chunk := sparse.TopKDense(g, 0, n, k)
-				coo := wire.COOBytes(chunk.Len())
+				coo := wire.COOBytes(chunk.Len(), 0, n)
 				buf, format := wire.Encode(chunk, 0, n)
 				tab.AddRow(fmt.Sprintf("%.0e", ratio), chunk.Len(), coo, len(buf), format.String(),
 					fmt.Sprintf("%.0f%%", 100*(1-float64(len(buf))/float64(coo))))

@@ -145,9 +145,15 @@ type Arena struct {
 	anys slabPool[any]
 	buf  slabPool[byte]
 
-	// freelist of recycled chunks by storage size class; cleared (but not
-	// shrunk) every epoch.
+	// freelists of recycled chunks by storage size class; cleared (but not
+	// shrunk) every epoch. Sparse (Idx+Val) and dense-block (Val-only)
+	// chunks recycle separately: their storage shapes differ.
 	freeChunks [numClasses][]*Chunk
+	freeDense  [numClasses][]*Chunk
+
+	// dense selects when merge results switch into the dense-block
+	// representation; see SetDensePolicy.
+	dense DensePolicy
 }
 
 // NewArena returns an empty arena. Slabs are allocated lazily on first
@@ -180,6 +186,7 @@ func (a *Arena) Reset() {
 	a.buf.rotate()
 	for i := range a.freeChunks {
 		a.freeChunks[i] = a.freeChunks[i][:0]
+		a.freeDense[i] = a.freeDense[i][:0]
 	}
 }
 
@@ -244,7 +251,11 @@ func (a *Arena) Recycle(c *Chunk) {
 		panic("sparse: chunk recycled twice")
 	}
 	c.recycled = true
-	a.freeChunks[c.class] = append(a.freeChunks[c.class], c)
+	if c.dense {
+		a.freeDense[c.class] = append(a.freeDense[c.class], c)
+	} else {
+		a.freeChunks[c.class] = append(a.freeChunks[c.class], c)
+	}
 }
 
 // Owns reports whether c was allocated by a in the current epoch (and not
@@ -284,10 +295,16 @@ func (a *Arena) Bytes(capacity int) []byte {
 	return a.buf.alloc(capacity)
 }
 
-// Clone returns an arena-owned deep copy of c.
+// Clone returns an arena-owned deep copy of c, preserving its
+// representation.
 //
 //spardl:hotpath
 func (a *Arena) Clone(c *Chunk) *Chunk {
+	if c.dense {
+		out := a.getDense(c.lo, len(c.Val))
+		copy(out.Val, c.Val)
+		return out
+	}
 	out := a.Get(c.Len())
 	out.Idx = append(out.Idx, c.Idx...)
 	out.Val = append(out.Val, c.Val...)
@@ -297,7 +314,9 @@ func (a *Arena) Clone(c *Chunk) *Chunk {
 // MergeAdd returns a chunk containing the union of x's and y's indices;
 // values at indices present in both are summed. Inputs are not modified.
 // See the package-level MergeAdd for the semantics; this variant allocates
-// the result from the arena.
+// the result from the arena. The result switches to the dense-block
+// representation when the arena's density policy says the union crossed
+// the sparse/dense break-even point (see shouldDensify).
 //
 //spardl:hotpath
 func (a *Arena) MergeAdd(x, y *Chunk) *Chunk {
@@ -310,8 +329,20 @@ func (a *Arena) MergeAdd(x, y *Chunk) *Chunk {
 	if y == nil || y.Len() == 0 {
 		return a.Clone(x)
 	}
-	out := a.Get(len(x.Idx) + len(y.Idx))
-	mergeAddInto(out, x, y)
+	lo, hi := unionBounds(x, y)
+	span := int64(hi) - int64(lo)
+	if a.shouldDensify(x.Len()+y.Len(), span) {
+		out := a.GetDense(lo, int(span))
+		addIntoBlock(out.Val, lo, x)
+		addIntoBlock(out.Val, lo, y)
+		return out
+	}
+	out := a.Get(x.Len() + y.Len())
+	if x.dense || y.dense {
+		mergeAddIntoAny(out, x, y)
+	} else {
+		mergeAddInto(out, x, y)
+	}
 	return out
 }
 
@@ -362,6 +393,27 @@ func (a *Arena) MergeAddInto(dst, src *Chunk) *Chunk {
 	if dst == nil || dst.Len() == 0 {
 		a.Recycle(dst)
 		return a.Clone(src)
+	}
+	if dst.dense {
+		// A dense destination absorbs any source inside its range in place
+		// — the sparse+dense pairing the eager reduce-scatter hits once a
+		// block has switched. Sources that extend past the block fall back
+		// to a fresh merge.
+		sLo, sHi := src.IdxAt(0), src.IdxAt(src.Len()-1)+1
+		dLo, dHi := dst.DenseRange()
+		if sLo >= dLo && sHi <= dHi {
+			addIntoBlock(dst.Val, dLo, src)
+			return dst
+		}
+		out := a.MergeAdd(dst, src)
+		a.Recycle(dst)
+		return out
+	}
+	uLo, uHi := unionBounds(dst, src)
+	if a.shouldDensify(dst.Len()+src.Len(), int64(uHi)-int64(uLo)) || src.dense {
+		out := a.MergeAdd(dst, src)
+		a.Recycle(dst)
+		return out
 	}
 	n, m := dst.Len(), src.Len()
 	if cap(dst.Idx) < n+m || cap(dst.Val) < n+m {
@@ -442,6 +494,32 @@ func (a *Arena) MergeAddAll(chunks []*Chunk) *Chunk {
 	shards := runtime.GOMAXPROCS(0)
 	if shards > maxMergeShards {
 		shards = maxMergeShards
+	}
+	lo, hi := act[0].IdxAt(0), act[0].IdxAt(act[0].Len()-1)+1
+	for _, c := range act[1:] {
+		if f := c.IdxAt(0); f < lo {
+			lo = f
+		}
+		if l := c.IdxAt(c.Len()-1) + 1; l > hi {
+			hi = l
+		}
+	}
+	span := int64(hi) - int64(lo)
+	if a.shouldDensify(total, span) {
+		out := a.GetDense(lo, int(span))
+		if total >= parallelMergeMinEntries && shards > 1 {
+			mergeAddDenseShards(out, act, shards)
+			return out
+		}
+		for _, c := range act {
+			addIntoBlock(out.Val, lo, c)
+		}
+		return out
+	}
+	if anyDense(act) {
+		out := a.Get(total)
+		kwayMergeAny(out, act, make([]int, len(act)))
+		return out
 	}
 	if total >= parallelMergeMinEntries && shards > 1 {
 		return a.mergeAddShards(act, total, shards)
@@ -602,6 +680,12 @@ func (a *Arena) Concat(chunks []*Chunk) *Chunk {
 		if c == nil || c.Len() == 0 {
 			continue
 		}
+		if c.dense {
+			// Concat builds one COO run from disjoint sparse pieces; a
+			// dense block here means a merge result leaked into a path that
+			// should only ever see selections (always sparse).
+			panic("sparse: Concat input is a dense block")
+		}
 		if c.Idx[0] <= last {
 			panicConcat(c.Idx[0], last)
 		}
@@ -638,6 +722,11 @@ func (a *Arena) FromDense(dense []float32, lo, hi int) *Chunk {
 //
 //spardl:hotpath
 func (a *Arena) Split(p *Partition, c *Chunk) []*Chunk {
+	if c.dense {
+		// Split cuts a selection into per-block sends; selections are
+		// always sparse, so a dense block here is an algorithm bug.
+		panic("sparse: Split input is a dense block")
+	}
 	out := a.Chunks(p.Blocks)
 	pos := 0
 	for b := 0; b < p.Blocks; b++ {

@@ -14,12 +14,29 @@ import (
 	"sort"
 )
 
-// Chunk is a sparse slice of a gradient vector in COO format.
-// Invariant: Idx is strictly increasing and len(Idx) == len(Val).
-// The zero value is an empty, valid chunk.
+// Chunk is a slice of a gradient vector in one of two representations:
+//
+//   - sparse (COO, the default): Idx is strictly increasing,
+//     len(Idx) == len(Val), entry i is (Idx[i], Val[i]);
+//   - dense block: dense is set, Idx is empty, and Val holds every value of
+//     the contiguous index range [lo, lo+len(Val)) — entry i is
+//     (lo+i, Val[i]), zeros included.
+//
+// Both representations describe a set of (index, value) entries; Len,
+// IdxAt, Val[i] and the entry-walking methods below are the
+// representation-transparent view collectives should use. A dense chunk's
+// zero values are real entries (they carry residual shares exactly like an
+// explicit zero-sum COO entry), which is what keeps a merge result
+// observationally identical whether or not it switched representation.
+// The zero value is an empty, valid (sparse) chunk.
 type Chunk struct {
 	Idx []int32
 	Val []float32
+
+	// Dense-block representation: when dense is set, Val covers the index
+	// range [lo, lo+len(Val)) and Idx is unused.
+	dense bool
+	lo    int32
 
 	// Arena bookkeeping (zero for heap chunks): the owning arena, the
 	// epoch the chunk was handed out in, its storage size class (-1 for
@@ -31,31 +48,89 @@ type Chunk struct {
 	recycled bool
 }
 
-// Len returns the number of non-zero entries in the chunk.
-func (c *Chunk) Len() int { return len(c.Idx) }
+// Len returns the number of entries in the chunk (for a dense block, the
+// span width — zeros are entries).
+func (c *Chunk) Len() int { return len(c.Val) }
+
+// IsDense reports whether the chunk uses the dense-block representation.
+func (c *Chunk) IsDense() bool { return c.dense }
+
+// DenseRange returns the [lo, hi) index range of a dense block. It panics
+// on a sparse chunk; callers branch on IsDense first.
+func (c *Chunk) DenseRange() (lo, hi int32) {
+	if !c.dense {
+		panic("sparse: DenseRange on a sparse chunk")
+	}
+	return c.lo, c.lo + int32(len(c.Val))
+}
+
+// IdxAt returns the index of entry i in either representation. Entry
+// values are Val[i] in both.
+//
+//spardl:hotpath
+func (c *Chunk) IdxAt(i int) int32 {
+	if c.dense {
+		return c.lo + int32(i)
+	}
+	return c.Idx[i]
+}
+
+// ContainsIdx reports whether idx is one of the chunk's entries (a range
+// check for dense blocks, binary search over the sorted indices otherwise).
+//
+//spardl:hotpath
+func (c *Chunk) ContainsIdx(idx int32) bool {
+	if c.dense {
+		return idx >= c.lo && idx < c.lo+int32(len(c.Val))
+	}
+	lo, hi := 0, len(c.Idx)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.Idx[mid] < idx {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(c.Idx) && c.Idx[lo] == idx
+}
 
 // WireElems returns the number of scalar elements transmitted on the wire
 // for this chunk in COO format (index + value per entry).
-func (c *Chunk) WireElems() int { return 2 * len(c.Idx) }
+func (c *Chunk) WireElems() int { return 2 * c.Len() }
 
 // WireBytes returns the wire size in bytes, assuming 4-byte indices and
-// 4-byte float values (int32 + float32), the format used throughout.
-func (c *Chunk) WireBytes() int { return 8 * len(c.Idx) }
+// 4-byte float values (int32 + float32), the format used throughout. The
+// accounting is per entry, so a dense block charges its full span.
+func (c *Chunk) WireBytes() int { return 8 * c.Len() }
 
-// Clone returns a deep copy of the chunk.
+// Clone returns a deep copy of the chunk, preserving its representation.
 func (c *Chunk) Clone() *Chunk {
 	out := &Chunk{
-		Idx: make([]int32, len(c.Idx)),
-		Val: make([]float32, len(c.Val)),
+		Val:   make([]float32, len(c.Val)),
+		dense: c.dense,
+		lo:    c.lo,
 	}
-	copy(out.Idx, c.Idx)
 	copy(out.Val, c.Val)
+	if !c.dense {
+		out.Idx = make([]int32, len(c.Idx))
+		copy(out.Idx, c.Idx)
+	}
 	return out
 }
 
 // Validate checks the chunk invariants. It is used by tests and by debug
 // assertions; algorithms assume valid chunks.
 func (c *Chunk) Validate() error {
+	if c.dense {
+		if len(c.Idx) != 0 {
+			return fmt.Errorf("sparse: dense block carries %d explicit indices", len(c.Idx))
+		}
+		if c.lo < 0 {
+			return fmt.Errorf("sparse: dense block starts at negative index %d", c.lo)
+		}
+		return nil
+	}
 	if len(c.Idx) != len(c.Val) {
 		return fmt.Errorf("sparse: index/value length mismatch: %d != %d", len(c.Idx), len(c.Val))
 	}
@@ -94,15 +169,31 @@ func FromMap(m map[int32]float32) *Chunk {
 	return c
 }
 
-// AddToDense scatters the chunk into the dense vector, adding values.
+// AddToDense scatters the chunk into the dense vector, adding values. A
+// dense block adds as one contiguous slice loop.
+//
+//spardl:hotpath
 func (c *Chunk) AddToDense(dense []float32) {
+	if c.dense {
+		dst := dense[c.lo : int(c.lo)+len(c.Val)]
+		for i, v := range c.Val {
+			dst[i] += v
+		}
+		return
+	}
 	for i, idx := range c.Idx {
 		dense[idx] += c.Val[i]
 	}
 }
 
 // SetInDense scatters the chunk into the dense vector, overwriting values.
+//
+//spardl:hotpath
 func (c *Chunk) SetInDense(dense []float32) {
+	if c.dense {
+		copy(dense[c.lo:int(c.lo)+len(c.Val)], c.Val)
+		return
+	}
 	for i, idx := range c.Idx {
 		dense[idx] = c.Val[i]
 	}
@@ -132,11 +223,32 @@ func panicConcat(idx, last int32) {
 }
 
 // Slice returns the sub-chunk with indices in [lo, hi). The returned chunk
-// shares storage with c; callers must not mutate it.
+// shares storage with c; callers must not mutate it. Slicing is defined on
+// both representations: a dense block slices to the overlapping dense
+// sub-block.
 func (c *Chunk) Slice(lo, hi int32) *Chunk {
+	if c.dense {
+		a := clampRel(lo-c.lo, len(c.Val))
+		b := clampRel(hi-c.lo, len(c.Val))
+		if b < a {
+			b = a
+		}
+		return &Chunk{Val: c.Val[a:b], dense: true, lo: c.lo + int32(a)}
+	}
 	a := sort.Search(len(c.Idx), func(i int) bool { return c.Idx[i] >= lo })
 	b := sort.Search(len(c.Idx), func(i int) bool { return c.Idx[i] >= hi })
 	return &Chunk{Idx: c.Idx[a:b], Val: c.Val[a:b]}
+}
+
+// clampRel clamps a dense-relative offset to [0, n].
+func clampRel(rel int32, n int) int {
+	if rel < 0 {
+		return 0
+	}
+	if int(rel) > n {
+		return n
+	}
+	return int(rel)
 }
 
 // Sum returns the sum of all values in the chunk (float64 accumulator).

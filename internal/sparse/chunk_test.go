@@ -89,8 +89,12 @@ func TestMergeAddAllMaxInt32Index(t *testing.T) {
 	assertChunkEqual(t, got, want)
 }
 
-// Property: the k-way MergeAddAll equals a pairwise MergeAdd fold and
-// never aliases its inputs.
+// Property: the k-way MergeAddAll carries the same content as a pairwise
+// MergeAdd fold and never aliases its inputs. The fold and the k-way pass
+// may make different representation-switching decisions (each pairwise
+// step sees a different density estimate), so the comparison is over the
+// scattered dense content — the observable a reducer consumes — not the
+// entry lists.
 func TestMergeAddAllMatchesPairwiseFold(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 50; trial++ {
@@ -114,15 +118,45 @@ func TestMergeAddAllMatchesPairwiseFold(t *testing.T) {
 			want = MergeAdd(want, c)
 		}
 		got := MergeAddAll(chunks)
-		assertChunkEqual(t, got, want)
+		if err := got.Validate(); err != nil {
+			t.Fatalf("invalid merge result: %v", err)
+		}
+		assertSameContent(t, got, want, 900)
+		// Every input entry must appear in the union.
+		for _, c := range chunks {
+			if c == nil {
+				continue
+			}
+			for i := 0; i < c.Len(); i++ {
+				if !got.ContainsIdx(c.IdxAt(i)) {
+					t.Fatalf("union lost input index %d", c.IdxAt(i))
+				}
+			}
+		}
 		// Mutating the result must not corrupt any input.
 		if got.Len() > 0 {
 			got.Val[0] += 1000
 			for _, c := range chunks {
-				if c != nil && c.Len() > 0 && c.Idx[0] == got.Idx[0] && c.Val[0] >= 500 {
+				if c != nil && c.Len() > 0 && c.IdxAt(0) == got.IdxAt(0) && c.Val[0] >= 500 {
 					t.Fatal("MergeAddAll result aliases an input chunk")
 				}
 			}
+		}
+	}
+}
+
+// assertSameContent scatters both chunks into dense vectors of length n
+// and requires bit-equality position by position — the representation-
+// independent equality merges must preserve.
+func assertSameContent(t *testing.T, got, want *Chunk, n int) {
+	t.Helper()
+	dg := make([]float32, n)
+	dw := make([]float32, n)
+	got.AddToDense(dg)
+	want.AddToDense(dw)
+	for i := range dg {
+		if math.Float32bits(dg[i]) != math.Float32bits(dw[i]) {
+			t.Fatalf("content mismatch at %d: got %g want %g", i, dg[i], dw[i])
 		}
 	}
 }

@@ -61,9 +61,16 @@ func (p *Partition) BlockOf(i int32) int {
 }
 
 // Split cuts a chunk into per-block sub-chunks according to the partition.
-// The returned chunks share storage with c.
+// The returned chunks share storage with c; a dense block splits into
+// dense sub-blocks.
 func (p *Partition) Split(c *Chunk) []*Chunk {
 	out := make([]*Chunk, p.Blocks)
+	if c.IsDense() {
+		for b := 0; b < p.Blocks; b++ {
+			out[b] = c.Slice(int32(p.Offsets[b]), int32(p.Offsets[b+1]))
+		}
+		return out
+	}
 	pos := 0
 	for b := 0; b < p.Blocks; b++ {
 		hi := p.Offsets[b+1]

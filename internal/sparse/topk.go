@@ -134,7 +134,10 @@ func (a *Arena) TopKChunk(c *Chunk, k int) (kept, dropped *Chunk) {
 
 	kept = a.Get(k)
 	dropped = a.Get(n - k)
-	// First pass: everything strictly above the threshold is kept.
+	// First pass: everything strictly above the threshold is kept. Entry
+	// indices come from IdxAt, so a densified merge result re-sparsifies
+	// here transparently — its zero positions are real entries that rank
+	// lowest and land in dropped (with zero residual contribution).
 	strict := 0
 	for _, v := range c.Val {
 		if absKey(v) > thr {
@@ -145,14 +148,14 @@ func (a *Arena) TopKChunk(c *Chunk, k int) (kept, dropped *Chunk) {
 	for i, v := range c.Val {
 		switch {
 		case absKey(v) > thr:
-			kept.Idx = append(kept.Idx, c.Idx[i])
+			kept.Idx = append(kept.Idx, c.IdxAt(i))
 			kept.Val = append(kept.Val, v)
 		case absKey(v) == thr && slots > 0:
-			kept.Idx = append(kept.Idx, c.Idx[i])
+			kept.Idx = append(kept.Idx, c.IdxAt(i))
 			kept.Val = append(kept.Val, v)
 			slots--
 		default:
-			dropped.Idx = append(dropped.Idx, c.Idx[i])
+			dropped.Idx = append(dropped.Idx, c.IdxAt(i))
 			dropped.Val = append(dropped.Val, v)
 		}
 	}
@@ -249,10 +252,10 @@ func (a *Arena) ThresholdChunk(c *Chunk, thr float32) (kept, dropped *Chunk) {
 	dropped = a.Get(c.Len() - nk)
 	for i, v := range c.Val {
 		if absKey(v) >= thrKey {
-			kept.Idx = append(kept.Idx, c.Idx[i])
+			kept.Idx = append(kept.Idx, c.IdxAt(i))
 			kept.Val = append(kept.Val, v)
 		} else {
-			dropped.Idx = append(dropped.Idx, c.Idx[i])
+			dropped.Idx = append(dropped.Idx, c.IdxAt(i))
 			dropped.Val = append(dropped.Val, v)
 		}
 	}

@@ -138,12 +138,12 @@ func (g *GTopk) ReduceInto(ep comm.Endpoint, grad, out []float32) {
 	}
 
 	// PRES residual: zero only where our local selection made the global
-	// set; everything else (including in-tree discards) stays local. Both
-	// index sets are sorted, so a binary search replaces the per-iteration
-	// membership map.
+	// set; everything else (including in-tree discards) stays local. The
+	// global set is sorted in either representation, so ContainsIdx is a
+	// range check (dense) or binary search (COO) per selected index.
 	copy(g.residual, acc)
 	for _, idx := range local.Idx {
-		if containsIdx(global.Idx, idx) {
+		if global.ContainsIdx(idx) {
 			g.residual[idx] = 0
 		}
 	}

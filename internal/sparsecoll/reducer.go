@@ -75,6 +75,27 @@ func WireVariant(base Factory, mode wire.Mode) Factory {
 	}
 }
 
+// denseConfigurable is implemented by reducers whose merge results can
+// switch representation; scratch provides it to every baseline.
+type denseConfigurable interface {
+	setDensePolicy(p sparse.DensePolicy)
+}
+
+// DenseVariant returns a factory that builds the same reducers as base but
+// with the given sparse↔dense representation-switching policy on their
+// merge paths. sparse.DenseNever reproduces the pre-dense behaviour;
+// sparse.DenseAlways is the ablation bound. Reducers without sparse merges
+// are returned unchanged.
+func DenseVariant(base Factory, policy sparse.DensePolicy) Factory {
+	return func(p, rank, n, k int) Reducer {
+		r := base(p, rank, n, k)
+		if dc, ok := r.(denseConfigurable); ok {
+			dc.setDensePolicy(policy)
+		}
+		return r
+	}
+}
+
 // wireName appends the non-default transport mode to a reducer name so
 // experiment tables distinguish accounting modes.
 func wireName(name string, tx wire.Transport) string {
@@ -120,6 +141,10 @@ func newScratch(n int) scratch {
 	return scratch{ar: sparse.NewArena(), accBuf: make([]float32, n), snapBuf: make([]float32, n)}
 }
 
+// setDensePolicy implements denseConfigurable for every reducer embedding
+// scratch: merges drawn from the shared arena follow the policy.
+func (s *scratch) setDensePolicy(p sparse.DensePolicy) { s.ar.SetDensePolicy(p) }
+
 // accumulate starts an iteration: a new arena epoch, then grad+residual
 // into the persistent working vector with a snapshot (the "G_copy" of
 // Algorithm 1) for residual bookkeeping at the end.
@@ -128,11 +153,14 @@ func newScratch(n int) scratch {
 func (s *scratch) accumulate(grad, residual []float32) (acc, snapshot []float32) {
 	s.ar.Reset()
 	acc, snapshot = s.accBuf, s.snapBuf
-	copy(acc, grad)
-	for i, r := range residual {
-		acc[i] += r
+	// One fused pass: the residual add and the snapshot copy touch the same
+	// cache lines, so splitting them into copy + add + copy triples the
+	// memory traffic of the per-iteration prologue.
+	for i, g := range grad {
+		v := g + residual[i]
+		acc[i] = v
+		snapshot[i] = v
 	}
-	copy(snapshot, acc)
 	return acc, snapshot
 }
 

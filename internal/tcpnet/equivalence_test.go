@@ -15,6 +15,7 @@ import (
 	"spardl/internal/comm"
 	"spardl/internal/core"
 	"spardl/internal/simnet"
+	"spardl/internal/sparse"
 	"spardl/internal/sparsecoll"
 	"spardl/internal/wire"
 )
@@ -51,20 +52,30 @@ const (
 	eqN     = 2000
 	eqK     = 60
 	eqIters = 3
+	// The forced-flip workload: per-block fan-in density ≈ P·k/n ≥ 2, so
+	// the reduce-scatter merges densify mid-collective under the default
+	// adaptive policy.
+	eqFlipN = 1024
+	eqFlipK = 512
 )
 
 type eqCombo struct {
 	name    string
 	factory sparsecoll.Factory
+	n, k    int
 }
 
 // eqCombos is the full reducer Factory × wire mode matrix for a P-worker
 // cluster: every SparDL configuration and every baseline, with gTopk
-// joining on power-of-two P.
+// joining on power-of-two P. Every combo runs with adaptive sparse↔dense
+// representation switching (the package default); the "-flip" entries
+// force a mid-collective sparse→dense switch and the never/always
+// policies bracket the adaptive decision.
 func eqCombos(p int) []eqCombo {
 	type method struct {
 		name string
 		f    func(mode wire.Mode) sparsecoll.Factory
+		n, k int
 	}
 	spardl := func(opts core.Options) func(mode wire.Mode) sparsecoll.Factory {
 		return func(mode wire.Mode) sparsecoll.Factory {
@@ -77,26 +88,30 @@ func eqCombos(p int) []eqCombo {
 		return func(mode wire.Mode) sparsecoll.Factory { return sparsecoll.WireVariant(f, mode) }
 	}
 	methods := []method{
-		{"spardl", spardl(core.Options{})},
-		{"spardl-eager", spardl(core.Options{Eager: true})},
-		{"topka", baseline(sparsecoll.NewTopkA)},
-		{"topkdsa", baseline(sparsecoll.NewTopkDSA)},
-		{"oktopk", baseline(sparsecoll.NewOkTopk)},
-		{"dense", baseline(sparsecoll.NewDense)},
+		{"spardl", spardl(core.Options{}), eqN, eqK},
+		{"spardl-eager", spardl(core.Options{Eager: true}), eqN, eqK},
+		{"topka", baseline(sparsecoll.NewTopkA), eqN, eqK},
+		{"topkdsa", baseline(sparsecoll.NewTopkDSA), eqN, eqK},
+		{"oktopk", baseline(sparsecoll.NewOkTopk), eqN, eqK},
+		{"dense", baseline(sparsecoll.NewDense), eqN, eqK},
+		{"spardl-flip", spardl(core.Options{}), eqFlipN, eqFlipK},
+		{"spardl-flip-never", spardl(core.Options{Dense: sparse.DenseNever}), eqFlipN, eqFlipK},
+		{"spardl-flip-always", spardl(core.Options{Dense: sparse.DenseAlways}), eqFlipN, eqFlipK},
+		{"topkdsa-flip", baseline(sparsecoll.NewTopkDSA), eqFlipN, eqFlipK},
 	}
 	for _, d := range []int{2, 3} {
 		if p%d == 0 && p > d {
 			d := d
-			methods = append(methods, method{fmt.Sprintf("spardl-d%d", d), spardl(core.Options{Teams: d})})
+			methods = append(methods, method{fmt.Sprintf("spardl-d%d", d), spardl(core.Options{Teams: d}), eqN, eqK})
 		}
 	}
 	if sparsecoll.GTopkValid(p) == nil {
-		methods = append(methods, method{"gtopk", baseline(sparsecoll.NewGTopk)})
+		methods = append(methods, method{"gtopk", baseline(sparsecoll.NewGTopk), eqN, eqK})
 	}
 	var combos []eqCombo
 	for _, m := range methods {
 		for _, mode := range []wire.Mode{wire.ModeCOO, wire.ModeNegotiated, wire.ModeEncoded} {
-			combos = append(combos, eqCombo{name: m.name + "/" + mode.String(), factory: m.f(mode)})
+			combos = append(combos, eqCombo{name: m.name + "/" + mode.String(), factory: m.f(mode), n: m.n, k: m.k})
 		}
 	}
 	return combos
@@ -106,9 +121,9 @@ func eqCombos(p int) []eqCombo {
 // iteration: dense enough to exercise every encoding, with exact zero runs
 // so the bitmap/delta formats both win sometimes, and combo-dependent so
 // no two combos share residual trajectories.
-func eqGrad(comboIdx, rank, iter int) []float32 {
+func eqGrad(comboIdx, rank, iter, n int) []float32 {
 	rng := rand.New(rand.NewSource(int64(100000*comboIdx + 1000*iter + rank)))
-	g := make([]float32, eqN)
+	g := make([]float32, n)
 	for i := range g {
 		if rng.Intn(4) == 0 {
 			continue
@@ -121,10 +136,10 @@ func eqGrad(comboIdx, rank, iter int) []float32 {
 // runComboOn executes one combo's iterations for one rank on any endpoint
 // and returns that rank's per-iteration outputs.
 func runComboOn(ep comm.Endpoint, c eqCombo, comboIdx, p int) [][]float32 {
-	r := c.factory(p, ep.Rank(), eqN, eqK)
+	r := c.factory(p, ep.Rank(), c.n, c.k)
 	outs := make([][]float32, eqIters)
 	for it := 0; it < eqIters; it++ {
-		outs[it] = r.Reduce(ep, eqGrad(comboIdx, ep.Rank(), it))
+		outs[it] = r.Reduce(ep, eqGrad(comboIdx, ep.Rank(), it, c.n))
 		ep.SyncClock()
 	}
 	return outs
@@ -268,7 +283,10 @@ func TestProcessEquivalence(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				want := len(combos)*eqIters*eqN*4 + 4
+				want := 4 // trailing "DONE"
+				for _, c := range combos {
+					want += eqIters * c.n * 4
+				}
 				if len(data) != want || string(data[len(data)-4:]) != "DONE" {
 					t.Fatalf("rank %d output truncated: %d bytes, want %d", rank, len(data), want)
 				}
@@ -276,7 +294,7 @@ func TestProcessEquivalence(t *testing.T) {
 				for ci, c := range combos {
 					for it := 0; it < eqIters; it++ {
 						ref := sim[ci][rank][it]
-						for i := 0; i < eqN; i++ {
+						for i := 0; i < c.n; i++ {
 							got := binary.LittleEndian.Uint32(data[off:])
 							off += 4
 							if got != math.Float32bits(ref[i]) {
@@ -325,7 +343,7 @@ func childFault() {
 	}()
 	ep.SyncClock()
 	r := core.NewFactory(core.Options{})(cfg.P, cfg.Rank, eqN, eqK)
-	r.Reduce(ep, eqGrad(0, cfg.Rank, 0))
+	r.Reduce(ep, eqGrad(0, cfg.Rank, 0, eqN))
 }
 
 // TestFaultPoisonsSurvivors kills a worker process mid-Reduce and asserts

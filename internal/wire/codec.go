@@ -1,23 +1,36 @@
 // Package wire implements binary codecs for sparse gradient messages. The
 // α-β accounting throughout this repository charges 8 bytes per COO entry
 // (int32 index + float32 value, the paper's "2k" wire elements); this
-// package makes that size concrete with a real encoder, and provides two
+// package makes that size concrete with a real encoder, and provides three
 // denser encodings a production deployment would negotiate per message:
 //
 //   - COO: 4-byte index + 4-byte value per entry (the accounting baseline);
 //   - Delta: varint-encoded index gaps + 4-byte values, smaller whenever
 //     indices are locally dense (sorted indices make gaps small);
 //   - Bitmap: one bit per vector position + packed values, smaller than COO
-//     once density exceeds ~1/64.
+//     once density exceeds ~1/64;
+//   - Dense: raw packed values for a fully-covered [lo, hi) range — the
+//     terminal point of the density spectrum, reached when reduce-scatter
+//     fan-in has densified a stream into a contiguous block.
 //
 // Encode picks the smallest representation and self-describes with a one-
 // byte tag, which is exactly the "switch to dense transmission" trick
 // TopkDSA applies at block granularity (Section I-B), generalized.
 //
-// All three encodings carry the caller's [lo, hi) index range in the
-// header: delta gaps are relative to lo and the bitmap spans exactly
+// Every encoding carries the caller's [lo, hi) index range in the header:
+// delta gaps are relative to lo, the bitmap and dense block span exactly
 // [lo, hi), so decoding is self-contained and a decoded message can be
-// attributed to its gradient block without out-of-band context.
+// attributed to its gradient block without out-of-band context. Header
+// fields are varint-packed (format byte + count + lo + span), so small
+// messages pay 4-6 header bytes instead of a fixed 13.
+//
+// Codecs preserve *entry sets* exactly: a chunk decodes to the same
+// (index, value) entries it encoded, including explicit zeros (a dense
+// block's zero positions are entries). The in-memory representation after
+// a round trip is determined by the chosen format — FormatDense decodes
+// into arena dense-block storage, the other three into COO — which is
+// itself a pure function of the entry set, so reference-passing and
+// byte-copying transports stay bit-identical.
 package wire
 
 import (
@@ -37,6 +50,7 @@ const (
 	FormatCOO    Format = 1
 	FormatDelta  Format = 2
 	FormatBitmap Format = 3
+	FormatDense  Format = 4
 )
 
 // String implements fmt.Stringer.
@@ -48,25 +62,67 @@ func (f Format) String() string {
 		return "delta"
 	case FormatBitmap:
 		return "bitmap"
+	case FormatDense:
+		return "dense"
 	}
 	return fmt.Sprintf("Format(%d)", byte(f))
 }
 
-// header: 1 byte format + 4 bytes entry count + 4 bytes range lo + 4 bytes
-// range hi. Every format carries the caller's [lo, hi): delta needs lo as
-// the base of its gap encoding, bitmap needs the full span, and COO carries
-// it so all three headers stay interchangeable.
-const headerBytes = 13
+// HeaderLen returns the encoded header size for a message with the given
+// entry count over [lo, hi): one format byte plus varint count, varint lo
+// and varint span. Every format shares this layout, so the four sizing
+// functions stay interchangeable.
+func HeaderLen(count int, lo, hi int32) int {
+	return 1 + uvarintLen(uint64(count)) + uvarintLen(uint64(uint32(lo))) + uvarintLen(uint64(uint32(hi-lo)))
+}
 
-// COOBytes returns the encoded size of a chunk in COO format.
-func COOBytes(entries int) int { return headerBytes + 8*entries }
+// appendHeader appends the message header to dst.
+//
+//spardl:hotpath
+func appendHeader(dst []byte, f Format, count int, lo, hi int32) []byte {
+	dst = append(dst, byte(f))
+	dst = binary.AppendUvarint(dst, uint64(count))
+	dst = binary.AppendUvarint(dst, uint64(uint32(lo)))
+	dst = binary.AppendUvarint(dst, uint64(uint32(hi-lo)))
+	return dst
+}
+
+// parseHeader decodes the message header, returning the remaining body.
+func parseHeader(buf []byte) (f Format, count int, lo, hi int32, body []byte, err error) {
+	if len(buf) < 4 {
+		return 0, 0, 0, 0, nil, fmt.Errorf("wire: truncated header (%d bytes)", len(buf))
+	}
+	f = Format(buf[0])
+	rest := buf[1:]
+	countU, n := binary.Uvarint(rest)
+	if n <= 0 || countU > math.MaxInt32 {
+		return 0, 0, 0, 0, nil, fmt.Errorf("wire: bad entry-count varint")
+	}
+	rest = rest[n:]
+	loU, n := binary.Uvarint(rest)
+	if n <= 0 || loU > math.MaxInt32 {
+		return 0, 0, 0, 0, nil, fmt.Errorf("wire: bad range-lo varint")
+	}
+	rest = rest[n:]
+	spanU, n := binary.Uvarint(rest)
+	if n <= 0 || loU+spanU > math.MaxInt32 {
+		return 0, 0, 0, 0, nil, fmt.Errorf("wire: bad range-span varint")
+	}
+	rest = rest[n:]
+	return f, int(countU), int32(loU), int32(loU + spanU), rest, nil
+}
+
+// COOBytes returns the encoded size of a chunk with the given entry count
+// in COO format over [lo, hi).
+func COOBytes(entries int, lo, hi int32) int { return HeaderLen(entries, lo, hi) + 8*entries }
 
 // DeltaBytes returns the encoded size of the chunk in delta format with
 // index gaps relative to lo, without materializing the buffer.
-func DeltaBytes(c *sparse.Chunk, lo int32) int {
-	n := headerBytes + 4*c.Len()
+func DeltaBytes(c *sparse.Chunk, lo, hi int32) int {
+	n := HeaderLen(c.Len(), lo, hi) + 4*c.Len()
 	prev := lo
-	for _, idx := range c.Idx {
+	for i := 0; i < c.Len(); i++ {
+		idx := c.IdxAt(i)
 		n += uvarintLen(uint64(idx - prev))
 		prev = idx
 	}
@@ -74,8 +130,17 @@ func DeltaBytes(c *sparse.Chunk, lo int32) int {
 }
 
 // BitmapBytes returns the encoded size of a chunk with the given entry
-// count over a [lo, hi) span of the given width.
-func BitmapBytes(span, entries int) int { return headerBytes + (span+7)/8 + 4*entries }
+// count over [lo, hi).
+func BitmapBytes(entries int, lo, hi int32) int {
+	return HeaderLen(entries, lo, hi) + (int(hi-lo)+7)/8 + 4*entries
+}
+
+// DenseBytes returns the encoded size of a dense block over [lo, hi):
+// header plus 4 raw bytes per position.
+func DenseBytes(lo, hi int32) int {
+	span := int(hi - lo)
+	return HeaderLen(span, lo, hi) + 4*span
+}
 
 // uvarintLen is the number of bytes binary.PutUvarint would write.
 func uvarintLen(x uint64) int {
@@ -88,12 +153,12 @@ func uvarintLen(x uint64) int {
 }
 
 // Range returns the tightest [lo, hi) interval containing the chunk's
-// indices: [Idx[0], Idx[last]+1), or [0, 0) for an empty chunk.
+// indices: [IdxAt(0), IdxAt(last)+1), or [0, 0) for an empty chunk.
 func Range(c *sparse.Chunk) (lo, hi int32) {
 	if c.Len() == 0 {
 		return 0, 0
 	}
-	return c.Idx[0], c.Idx[c.Len()-1] + 1
+	return c.IdxAt(0), c.IdxAt(c.Len()-1) + 1
 }
 
 // EncodeCOO encodes the chunk as index/value pairs over [lo, hi).
@@ -107,15 +172,14 @@ func EncodeCOO(c *sparse.Chunk, lo, hi int32) []byte {
 //spardl:hotpath
 func AppendCOO(dst []byte, c *sparse.Chunk, lo, hi int32) []byte {
 	mustRange(c, lo, hi)
+	n := c.Len()
+	dst = appendHeader(dst, FormatCOO, n, lo, hi)
 	base := len(dst)
-	dst = appendZeros(dst, COOBytes(c.Len()))
+	dst = appendZeros(dst, 8*n)
 	buf := dst[base:]
-	writeHeader(buf, FormatCOO, c.Len(), lo, hi)
-	off := headerBytes
-	for i := range c.Idx {
-		binary.LittleEndian.PutUint32(buf[off:], uint32(c.Idx[i]))
-		binary.LittleEndian.PutUint32(buf[off+4:], math.Float32bits(c.Val[i]))
-		off += 8
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(buf[8*i:], uint32(c.IdxAt(i)))
+		binary.LittleEndian.PutUint32(buf[8*i+4:], math.Float32bits(c.Val[i]))
 	}
 	return dst
 }
@@ -142,12 +206,11 @@ func EncodeDelta(c *sparse.Chunk, lo, hi int32) []byte {
 //spardl:hotpath
 func AppendDelta(dst []byte, c *sparse.Chunk, lo, hi int32) []byte {
 	mustRange(c, lo, hi)
-	base := len(dst)
-	dst = appendZeros(dst, headerBytes)
-	writeHeader(dst[base:], FormatDelta, c.Len(), lo, hi)
+	dst = appendHeader(dst, FormatDelta, c.Len(), lo, hi)
 	prev := lo
 	var tmp [binary.MaxVarintLen32]byte
-	for _, idx := range c.Idx {
+	for i := 0; i < c.Len(); i++ {
+		idx := c.IdxAt(i)
 		n := binary.PutUvarint(tmp[:], uint64(idx-prev))
 		dst = append(dst, tmp[:n]...)
 		prev = idx
@@ -171,44 +234,80 @@ func EncodeBitmap(c *sparse.Chunk, lo, hi int32) []byte {
 func AppendBitmap(dst []byte, c *sparse.Chunk, lo, hi int32) []byte {
 	mustRange(c, lo, hi)
 	span := int(hi - lo)
+	n := c.Len()
+	dst = appendHeader(dst, FormatBitmap, n, lo, hi)
 	base := len(dst)
-	dst = appendZeros(dst, BitmapBytes(span, c.Len()))
+	dst = appendZeros(dst, (span+7)/8+4*n)
 	buf := dst[base:]
-	writeHeader(buf, FormatBitmap, c.Len(), lo, hi)
-	bits := buf[headerBytes : headerBytes+(span+7)/8]
-	off := headerBytes + (span+7)/8
-	for i, idx := range c.Idx {
-		rel := int(idx - lo)
+	bits := buf[:(span+7)/8]
+	off := (span + 7) / 8
+	for i := 0; i < n; i++ {
+		rel := int(c.IdxAt(i) - lo)
 		bits[rel/8] |= 1 << (rel % 8)
 		binary.LittleEndian.PutUint32(buf[off+4*i:], math.Float32bits(c.Val[i]))
 	}
 	return dst
 }
 
+// EncodeDense encodes a full-cover chunk as raw packed values over
+// [lo, hi).
+func EncodeDense(c *sparse.Chunk, lo, hi int32) []byte {
+	return AppendDense(nil, c, lo, hi)
+}
+
+// AppendDense appends the dense-block encoding to dst. The chunk must
+// cover every position of [lo, hi) — in either representation, entry i is
+// then the value at lo+i, so Val streams out as one raw block.
+//
+//spardl:hotpath
+func AppendDense(dst []byte, c *sparse.Chunk, lo, hi int32) []byte {
+	mustRange(c, lo, hi)
+	span := int(hi - lo)
+	if c.Len() != span {
+		panic(fmt.Sprintf("wire: dense format needs full cover: %d entries over span %d", c.Len(), span))
+	}
+	dst = appendHeader(dst, FormatDense, span, lo, hi)
+	base := len(dst)
+	dst = appendZeros(dst, 4*span)
+	buf := dst[base:]
+	for i, v := range c.Val {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	return dst
+}
+
 // EncodedBytes returns the size and format Encode would pick for a chunk
-// over [lo, hi), without allocating any buffer. Preference on size ties is
-// delta, then COO, then bitmap, matching Encode exactly.
+// over [lo, hi), without allocating any buffer. A chunk covering every
+// position of the range takes FormatDense — at full cover the raw block
+// (4 bytes/entry) is strictly smaller than bitmap (4⅛), delta (~5) and
+// COO (8), so the smallest-of-four decision short-circuits. Otherwise the
+// preference on size ties is delta, then COO, then bitmap, matching
+// Encode exactly. The choice depends only on the chunk's entry set, never
+// its in-memory representation.
 //
 //spardl:hotpath
 func EncodedBytes(c *sparse.Chunk, lo, hi int32) (int, Format) {
 	mustRange(c, lo, hi)
-	best, fmtBest := DeltaBytes(c, lo), FormatDelta
-	if s := COOBytes(c.Len()); s < best {
+	if n := c.Len(); n > 0 && n == int(hi-lo) {
+		return DenseBytes(lo, hi), FormatDense
+	}
+	best, fmtBest := DeltaBytes(c, lo, hi), FormatDelta
+	if s := COOBytes(c.Len(), lo, hi); s < best {
 		best, fmtBest = s, FormatCOO
 	}
-	if s := BitmapBytes(int(hi-lo), c.Len()); s < best {
+	if s := BitmapBytes(c.Len(), lo, hi); s < best {
 		best, fmtBest = s, FormatBitmap
 	}
 	return best, fmtBest
 }
 
-// Encode picks the smallest of the three encodings for a chunk whose
+// Encode picks the smallest of the four encodings for a chunk whose
 // indices lie in [lo, hi) and returns the buffer and chosen format.
 func Encode(c *sparse.Chunk, lo, hi int32) ([]byte, Format) {
 	return AppendEncode(nil, c, lo, hi)
 }
 
-// AppendEncode appends the smallest of the three encodings to dst —
+// AppendEncode appends the smallest of the four encodings to dst —
 // the allocation-free path byte-level transports and pooled send buffers
 // use.
 //
@@ -230,34 +329,45 @@ func AppendFormat(dst []byte, c *sparse.Chunk, lo, hi int32, format Format) []by
 		return AppendCOO(dst, c, lo, hi)
 	case FormatBitmap:
 		return AppendBitmap(dst, c, lo, hi)
+	case FormatDense:
+		return AppendDense(dst, c, lo, hi)
 	default:
 		return AppendDelta(dst, c, lo, hi)
 	}
 }
 
-// Decode reverses any of the three encodings into a heap chunk.
+// Decode reverses any of the four encodings into a heap chunk.
 func Decode(buf []byte) (*sparse.Chunk, error) {
 	return DecodeArena(nil, buf)
 }
 
-// DecodeArena reverses any of the three encodings, allocating the decoded
-// chunk from the receiver's arena (heap when a is nil).
+// DecodeArena reverses any of the four encodings, allocating the decoded
+// chunk from the receiver's arena (heap when a is nil). FormatDense
+// decodes straight into arena dense-block storage, so a stream that
+// switched representation at the sender stays dense on the receiver.
 func DecodeArena(a *sparse.Arena, buf []byte) (*sparse.Chunk, error) {
-	if len(buf) < headerBytes {
-		return nil, fmt.Errorf("wire: truncated header (%d bytes)", len(buf))
+	format, count, lo, hi, body, err := parseHeader(buf)
+	if err != nil {
+		return nil, err
 	}
-	format := Format(buf[0])
-	count := int(int32(binary.LittleEndian.Uint32(buf[1:])))
-	lo := int32(binary.LittleEndian.Uint32(buf[5:]))
-	hi := int32(binary.LittleEndian.Uint32(buf[9:]))
-	body := buf[headerBytes:]
 	// Every format stores at least 4 value bytes per entry, so a count that
 	// cannot fit in the body is corrupt; reject it before allocating.
-	if count < 0 || 4*count > len(body) {
+	if 4*count > len(body) {
 		return nil, fmt.Errorf("wire: entry count %d impossible for %d body bytes", count, len(body))
 	}
-	if lo < 0 || hi < lo {
-		return nil, fmt.Errorf("wire: invalid range [%d, %d)", lo, hi)
+	if format == FormatDense {
+		span := int(hi - lo)
+		if count != span {
+			return nil, fmt.Errorf("wire: dense count %d != span %d", count, span)
+		}
+		if len(body) != 4*span {
+			return nil, fmt.Errorf("wire: dense body %d bytes, want %d", len(body), 4*span)
+		}
+		c := a.GetDense(lo, span)
+		for i := range c.Val {
+			c.Val[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+		}
+		return c, nil
 	}
 	c := a.Get(count)
 	switch format {
@@ -333,13 +443,6 @@ func DecodeArena(a *sparse.Arena, buf []byte) (*sparse.Chunk, error) {
 	return c, nil
 }
 
-func writeHeader(buf []byte, f Format, count int, lo, hi int32) {
-	buf[0] = byte(f)
-	binary.LittleEndian.PutUint32(buf[1:], uint32(count))
-	binary.LittleEndian.PutUint32(buf[5:], uint32(lo))
-	binary.LittleEndian.PutUint32(buf[9:], uint32(hi))
-}
-
 func checkRange(c *sparse.Chunk, lo, hi int32) error {
 	if lo < 0 || hi < lo {
 		return fmt.Errorf("wire: invalid range [%d,%d)", lo, hi)
@@ -347,9 +450,9 @@ func checkRange(c *sparse.Chunk, lo, hi int32) error {
 	if c.Len() == 0 {
 		return nil
 	}
-	if c.Idx[0] < lo || c.Idx[c.Len()-1] >= hi {
+	if c.IdxAt(0) < lo || c.IdxAt(c.Len()-1) >= hi {
 		return fmt.Errorf("wire: chunk indices [%d,%d] outside range [%d,%d)",
-			c.Idx[0], c.Idx[c.Len()-1], lo, hi)
+			c.IdxAt(0), c.IdxAt(c.Len()-1), lo, hi)
 	}
 	return nil
 }

@@ -17,14 +17,16 @@ func randomChunk(rng *rand.Rand, maxLen, space int) *sparse.Chunk {
 	return sparse.FromMap(m)
 }
 
+// assertEqual compares entry sets via IdxAt, so it holds regardless of
+// which in-memory representation the decoder picked.
 func assertEqual(t *testing.T, got, want *sparse.Chunk) {
 	t.Helper()
 	if got.Len() != want.Len() {
 		t.Fatalf("len %d != %d", got.Len(), want.Len())
 	}
-	for i := range got.Idx {
-		if got.Idx[i] != want.Idx[i] || got.Val[i] != want.Val[i] {
-			t.Fatalf("entry %d: (%d,%g) != (%d,%g)", i, got.Idx[i], got.Val[i], want.Idx[i], want.Val[i])
+	for i := 0; i < got.Len(); i++ {
+		if got.IdxAt(i) != want.IdxAt(i) || got.Val[i] != want.Val[i] {
+			t.Fatalf("entry %d: (%d,%g) != (%d,%g)", i, got.IdxAt(i), got.Val[i], want.IdxAt(i), want.Val[i])
 		}
 	}
 }
@@ -42,6 +44,62 @@ func TestRoundTripAllFormats(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 		assertEqual(t, got, c)
+	}
+}
+
+func TestRoundTripDense(t *testing.T) {
+	// A full-cover sparse chunk and a real dense-block chunk must encode to
+	// identical bytes and decode into the dense representation.
+	idx := make([]int32, 100)
+	val := make([]float32, 100)
+	for i := range idx {
+		idx[i] = int32(40 + i)
+		val[i] = float32(i) - 50
+	}
+	cooRep := &sparse.Chunk{Idx: idx, Val: val}
+	denseRep := (*sparse.Arena)(nil).GetDense(40, 100)
+	copy(denseRep.Val, val)
+
+	encA := EncodeDense(cooRep, 40, 140)
+	encB := EncodeDense(denseRep, 40, 140)
+	if string(encA) != string(encB) {
+		t.Fatal("dense encoding depends on the input representation")
+	}
+	got, err := Decode(encA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsDense() {
+		t.Fatal("FormatDense decoded into the COO representation")
+	}
+	if lo, hi := got.DenseRange(); lo != 40 || hi != 140 {
+		t.Fatalf("decoded range [%d,%d), want [40,140)", lo, hi)
+	}
+	assertEqual(t, got, cooRep)
+}
+
+func TestEncodePicksDenseAtFullCover(t *testing.T) {
+	idx := make([]int32, 64)
+	val := make([]float32, 64)
+	for i := range idx {
+		idx[i] = int32(i)
+		val[i] = 1
+	}
+	c := &sparse.Chunk{Idx: idx, Val: val}
+	buf, f := Encode(c, 0, 64)
+	if f != FormatDense {
+		t.Fatalf("full cover picked %v, want dense", f)
+	}
+	for _, other := range [][]byte{
+		EncodeCOO(c, 0, 64), EncodeDelta(c, 0, 64), EncodeBitmap(c, 0, 64),
+	} {
+		if len(buf) >= len(other) {
+			t.Fatalf("dense (%d bytes) not strictly smallest (other %d)", len(buf), len(other))
+		}
+	}
+	// The same entries over a wider range are no longer full cover.
+	if _, f := Encode(c, 0, 65); f == FormatDense {
+		t.Fatal("dense chosen without full cover")
 	}
 }
 
@@ -64,8 +122,8 @@ func TestEncodePicksSmallest(t *testing.T) {
 	if f2 != FormatBitmap {
 		t.Fatalf("expected bitmap for 50%% density, got %v (%d bytes)", f2, len(buf2))
 	}
-	if len(buf2) >= COOBytes(c.Len()) {
-		t.Fatalf("bitmap (%d) not smaller than COO (%d)", len(buf2), COOBytes(c.Len()))
+	if len(buf2) >= COOBytes(c.Len(), 0, 1000) {
+		t.Fatalf("bitmap (%d) not smaller than COO (%d)", len(buf2), COOBytes(c.Len(), 0, 1000))
 	}
 }
 
@@ -77,14 +135,14 @@ func TestDeltaBeatsCOOOnClusteredIndices(t *testing.T) {
 		val[i] = 1
 	}
 	c := &sparse.Chunk{Idx: idx, Val: val}
-	if len(EncodeDelta(c, 0, 2000)) >= COOBytes(c.Len()) {
+	if len(EncodeDelta(c, 0, 2000)) >= COOBytes(c.Len(), 0, 2000) {
 		t.Fatalf("delta (%d) should beat COO (%d) on consecutive indices",
-			len(EncodeDelta(c, 0, 2000)), COOBytes(c.Len()))
+			len(EncodeDelta(c, 0, 2000)), COOBytes(c.Len(), 0, 2000))
 	}
 }
 
-// All three headers must carry the caller's [lo, hi), not the chunk's own
-// tight range, so a decoded message can be attributed to its block.
+// All headers must carry the caller's [lo, hi), not the chunk's own tight
+// range, so a decoded message can be attributed to its block.
 func TestHeadersCarryCallerRange(t *testing.T) {
 	c := &sparse.Chunk{Idx: []int32{120, 130, 199}, Val: []float32{1, 2, 3}}
 	const lo, hi = 100, 300
@@ -93,11 +151,12 @@ func TestHeadersCarryCallerRange(t *testing.T) {
 		"delta":  EncodeDelta(c, lo, hi),
 		"bitmap": EncodeBitmap(c, lo, hi),
 	} {
-		if gotLo := int32(uint32(enc[5]) | uint32(enc[6])<<8 | uint32(enc[7])<<16 | uint32(enc[8])<<24); gotLo != lo {
-			t.Fatalf("%s: header lo = %d, want %d", name, gotLo, lo)
+		_, count, gotLo, gotHi, _, err := parseHeader(enc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
 		}
-		if gotHi := int32(uint32(enc[9]) | uint32(enc[10])<<8 | uint32(enc[11])<<16 | uint32(enc[12])<<24); gotHi != hi {
-			t.Fatalf("%s: header hi = %d, want %d", name, gotHi, hi)
+		if count != c.Len() || gotLo != lo || gotHi != hi {
+			t.Fatalf("%s: header (%d, [%d,%d)), want (%d, [%d,%d))", name, count, gotLo, gotHi, c.Len(), lo, hi)
 		}
 		got, err := Decode(enc)
 		if err != nil {
@@ -107,11 +166,31 @@ func TestHeadersCarryCallerRange(t *testing.T) {
 	}
 }
 
+// The varint header must charge small messages only a few bytes: a short
+// message at low indices fits the whole header in 4 bytes instead of the
+// 13 a fixed-width layout costs.
+func TestHeaderIsCompact(t *testing.T) {
+	c := &sparse.Chunk{Idx: []int32{3}, Val: []float32{1}}
+	if h := HeaderLen(c.Len(), 0, 10); h != 4 {
+		t.Fatalf("small header is %d bytes, want 4", h)
+	}
+	enc := EncodeCOO(c, 0, 10)
+	if len(enc) != 4+8 {
+		t.Fatalf("singleton COO message is %d bytes, want 12", len(enc))
+	}
+	// Large fields expand as needed.
+	big := &sparse.Chunk{Idx: []int32{1 << 30}, Val: []float32{1}}
+	enc = EncodeCOO(big, 0, 1<<30+1)
+	if _, _, _, hi, _, err := parseHeader(enc); err != nil || hi != 1<<30+1 {
+		t.Fatalf("wide header round-trip: hi=%d err=%v", hi, err)
+	}
+}
+
 func TestDecodeErrors(t *testing.T) {
 	if _, err := Decode(nil); err == nil {
 		t.Fatal("nil buffer accepted")
 	}
-	if _, err := Decode(make([]byte, 5)); err == nil {
+	if _, err := Decode(make([]byte, 3)); err == nil {
 		t.Fatal("short buffer accepted")
 	}
 	bad := EncodeCOO(&sparse.Chunk{Idx: []int32{1}, Val: []float32{2}}, 0, 10)
@@ -123,6 +202,17 @@ func TestDecodeErrors(t *testing.T) {
 	if _, err := Decode(trunc[:len(trunc)-3]); err == nil {
 		t.Fatal("truncated body accepted")
 	}
+	dense := (*sparse.Arena)(nil).GetDense(0, 16)
+	dtrunc := EncodeDense(dense, 0, 16)
+	if _, err := Decode(dtrunc[:len(dtrunc)-1]); err == nil {
+		t.Fatal("truncated dense body accepted")
+	}
+	// Dense count must equal the header span.
+	mismatch := appendHeader(nil, FormatDense, 8, 0, 16)
+	mismatch = append(mismatch, make([]byte, 4*8)...)
+	if _, err := Decode(mismatch); err == nil {
+		t.Fatal("dense count != span accepted")
+	}
 }
 
 // The delta decoder must stop parsing varints exactly at the boundary of
@@ -131,8 +221,8 @@ func TestDecodeErrors(t *testing.T) {
 func TestDeltaIndexValueBoundary(t *testing.T) {
 	c := &sparse.Chunk{Idx: []int32{3, 7, 20, 21}, Val: []float32{1, 2, 3, 4}}
 	enc := EncodeDelta(c, 0, 64)
-	// Shrink the header count from 4 to 3: the fourth gap varint now sits
-	// in front of the (re-interpreted) value region.
+	// Count 4 encodes as the single byte enc[1]; shrink it to 3: the fourth
+	// gap varint now sits in front of the (re-interpreted) value region.
 	enc[1] = 3
 	if _, err := Decode(enc); err == nil {
 		t.Fatal("short entry count silently consumed value bytes")
@@ -142,9 +232,14 @@ func TestDeltaIndexValueBoundary(t *testing.T) {
 	if _, err := Decode(enc); err == nil {
 		t.Fatal("long entry count accepted")
 	}
-	// Absurd count must be rejected before any allocation.
-	enc[1], enc[2], enc[3], enc[4] = 0xff, 0xff, 0xff, 0x7f
-	if _, err := Decode(enc); err == nil {
+	// Absurd count must be rejected before any allocation: rebuild the
+	// message with a fabricated huge count over the original body.
+	_, _, lo, hi, body, err := parseHeader(EncodeDelta(c, 0, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := append(appendHeader(nil, FormatDelta, 1<<28, lo, hi), body...)
+	if _, err := Decode(huge); err == nil {
 		t.Fatal("absurd entry count accepted")
 	}
 }
@@ -153,8 +248,7 @@ func TestDeltaIndexValueBoundary(t *testing.T) {
 // followed by int32 truncation would otherwise fabricate in-range indices
 // from bytes no encoder produces.
 func TestDeltaRejectsWrappingGap(t *testing.T) {
-	buf := make([]byte, headerBytes)
-	writeHeader(buf, FormatDelta, 2, 0, 100)
+	buf := appendHeader(nil, FormatDelta, 2, 0, 100)
 	var tmp [10]byte
 	n := binary.PutUvarint(tmp[:], 1<<63+7)
 	buf = append(buf, tmp[:n]...)
@@ -175,7 +269,7 @@ func TestEncodeRangePanicsOutside(t *testing.T) {
 }
 
 // Property: Encode/Decode round-trips arbitrary chunks and never exceeds
-// the COO accounting baseline by more than the header.
+// the COO accounting baseline.
 func TestEncodeProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -189,13 +283,13 @@ func TestEncodeProperty(t *testing.T) {
 		if got.Len() != c.Len() {
 			return false
 		}
-		for i := range got.Idx {
-			if got.Idx[i] != c.Idx[i] || got.Val[i] != c.Val[i] {
+		for i := 0; i < got.Len(); i++ {
+			if got.IdxAt(i) != c.IdxAt(i) || got.Val[i] != c.Val[i] {
 				return false
 			}
 		}
 		// The selector must never do worse than plain COO.
-		return len(buf) <= COOBytes(c.Len())
+		return len(buf) <= COOBytes(c.Len(), 0, int32(space))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
@@ -204,7 +298,7 @@ func TestEncodeProperty(t *testing.T) {
 
 // Property: every format round-trips every chunk shape — empty, single
 // entry, dense span, random — and Encode really picks the smallest of the
-// three materialized buffers (with EncodedBytes agreeing exactly).
+// materialized buffers (with EncodedBytes agreeing exactly).
 func TestAllFormatsProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	shapes := []*sparse.Chunk{
@@ -227,6 +321,9 @@ func TestAllFormatsProperty(t *testing.T) {
 			FormatDelta:  EncodeDelta(c, lo, hi),
 			FormatBitmap: EncodeBitmap(c, lo, hi),
 		}
+		if c.Len() > 0 && c.Len() == int(hi-lo) {
+			encs[FormatDense] = EncodeDense(c, lo, hi)
+		}
 		smallest := -1
 		for f, enc := range encs {
 			got, err := Decode(enc)
@@ -245,8 +342,8 @@ func TestAllFormatsProperty(t *testing.T) {
 		if sz, szf := EncodedBytes(c, lo, hi); sz != len(buf) || szf != f {
 			t.Fatalf("shape %d: EncodedBytes (%d, %v) disagrees with Encode (%d, %v)", i, sz, szf, len(buf), f)
 		}
-		if len(encs[FormatDelta]) != DeltaBytes(c, lo) {
-			t.Fatalf("shape %d: DeltaBytes %d != materialized %d", i, DeltaBytes(c, lo), len(encs[FormatDelta]))
+		if len(encs[FormatDelta]) != DeltaBytes(c, lo, hi) {
+			t.Fatalf("shape %d: DeltaBytes %d != materialized %d", i, DeltaBytes(c, lo, hi), len(encs[FormatDelta]))
 		}
 	}
 }

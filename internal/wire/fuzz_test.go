@@ -2,6 +2,8 @@ package wire
 
 import (
 	"bytes"
+	"math"
+	"math/rand"
 	"testing"
 
 	"spardl/internal/sparse"
@@ -15,9 +17,15 @@ func FuzzDecode(f *testing.F) {
 	f.Add(EncodeCOO(c, 0, 128))
 	f.Add(EncodeDelta(c, 0, 128))
 	f.Add(EncodeBitmap(c, 0, 128))
+	dense := (*sparse.Arena)(nil).GetDense(16, 48)
+	for i := range dense.Val {
+		dense.Val[i] = float32(i) - 7.5
+	}
+	f.Add(EncodeDense(dense, 16, 64))
 	empty := &sparse.Chunk{}
 	f.Add(EncodeDelta(empty, 0, 0))
 	f.Add([]byte{byte(FormatDelta), 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{byte(FormatDense), 0x08, 0x00, 0x08, 1, 2, 3, 4})
 	f.Add(bytes.Repeat([]byte{0x80}, 64))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -37,9 +45,57 @@ func FuzzDecode(f *testing.F) {
 		if back.Len() != got.Len() {
 			t.Fatalf("re-encode changed length: %d != %d", back.Len(), got.Len())
 		}
-		for i := range back.Idx {
-			if back.Idx[i] != got.Idx[i] {
+		for i := 0; i < back.Len(); i++ {
+			if back.IdxAt(i) != got.IdxAt(i) {
 				t.Fatalf("re-encode changed index %d", i)
+			}
+		}
+	})
+}
+
+// FuzzDense round-trips arbitrary value blocks through FormatDense: the
+// encoding must preserve every position bit-for-bit (NaN payloads and
+// signed zeros included), decode into the dense representation, and agree
+// byte-for-byte whether the source chunk was a real dense block or its
+// full-cover COO twin.
+func FuzzDense(f *testing.F) {
+	f.Add(int64(1), uint16(1), uint32(0))
+	f.Add(int64(2), uint16(64), uint32(100))
+	f.Add(int64(3), uint16(1000), uint32(1<<20))
+	f.Fuzz(func(t *testing.T, seed int64, span16 uint16, lo32 uint32) {
+		span := int(span16)%2048 + 1
+		lo := int32(lo32 % (math.MaxInt32 - 4096))
+		hi := lo + int32(span)
+		rng := rand.New(rand.NewSource(seed))
+		block := (*sparse.Arena)(nil).GetDense(lo, span)
+		twin := &sparse.Chunk{}
+		for i := range block.Val {
+			v := math.Float32frombits(rng.Uint32()) // all bit patterns, NaN included
+			block.Val[i] = v
+			twin.Idx = append(twin.Idx, lo+int32(i))
+			twin.Val = append(twin.Val, v)
+		}
+		encBlock := EncodeDense(block, lo, hi)
+		encTwin := EncodeDense(twin, lo, hi)
+		if !bytes.Equal(encBlock, encTwin) {
+			t.Fatal("dense encoding differs between representations")
+		}
+		if want := DenseBytes(lo, hi); len(encBlock) != want {
+			t.Fatalf("DenseBytes %d != materialized %d", want, len(encBlock))
+		}
+		got, err := Decode(encBlock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.IsDense() {
+			t.Fatal("dense buffer decoded into COO representation")
+		}
+		if gotLo, gotHi := got.DenseRange(); gotLo != lo || gotHi != hi {
+			t.Fatalf("decoded range [%d,%d), want [%d,%d)", gotLo, gotHi, lo, hi)
+		}
+		for i := range got.Val {
+			if math.Float32bits(got.Val[i]) != math.Float32bits(block.Val[i]) {
+				t.Fatalf("position %d: %x != %x", i, math.Float32bits(got.Val[i]), math.Float32bits(block.Val[i]))
 			}
 		}
 	})

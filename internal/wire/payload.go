@@ -1,7 +1,6 @@
 package wire
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"spardl/internal/comm"
@@ -58,24 +57,25 @@ func init() {
 		Tag:   comm.TagSizedChunk,
 		Match: func(v any) bool { _, ok := v.(*sizedChunk); return ok },
 		Append: func(dst []byte, v any) []byte {
+			// The payload is exactly the negotiated encoding — no size memo
+			// prefix. The memoized size is a pure function of the entry set
+			// (EncodedBytes over the tight range), so the receiver recomputes
+			// the identical number and forwarding hops keep charging what the
+			// owner accounted, without the 1-3 extra bytes a varint prefix
+			// would put on the real wire.
 			sc := v.(*sizedChunk)
-			// The memoized negotiated size travels with the chunk so
-			// forwarding hops keep charging what the owner accounted.
-			dst = binary.AppendUvarint(dst, uint64(sc.bytes))
 			lo, hi := Range(sc.c)
 			out, _ := AppendEncode(dst, sc.c, lo, hi)
 			return out
 		},
 		Decode: func(body []byte) (any, error) {
-			n, used := binary.Uvarint(body)
-			if used <= 0 {
-				return nil, fmt.Errorf("wire: bad sized-chunk size varint")
-			}
-			c, err := Decode(body[used:])
+			c, err := Decode(body)
 			if err != nil {
 				return nil, err
 			}
-			return &sizedChunk{c: c, bytes: int(n)}, nil
+			lo, hi := Range(c)
+			n, _ := EncodedBytes(c, lo, hi)
+			return &sizedChunk{c: c, bytes: n}, nil
 		},
 	})
 }

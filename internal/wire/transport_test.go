@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"spardl/internal/comm"
 	"spardl/internal/sparse"
 )
 
@@ -91,13 +92,53 @@ func TestTransportSlices(t *testing.T) {
 	}
 }
 
-func TestTransportNegotiatedNeverWorseThanCOOPlusHeader(t *testing.T) {
+func TestTransportNegotiatedNeverWorseThanCOO(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	neg := Transport{Mode: ModeNegotiated}
 	for i := 0; i < 100; i++ {
 		c := randomChunk(rng, 400, 100+rng.Intn(8000))
-		if neg.ChunkBytes(c) > c.WireBytes()+headerBytes {
+		lo, hi := Range(c)
+		if neg.ChunkBytes(c) > COOBytes(c.Len(), lo, hi) {
+			t.Fatalf("negotiated %d exceeds headered COO %d", neg.ChunkBytes(c), COOBytes(c.Len(), lo, hi))
+		}
+		if neg.ChunkBytes(c) > c.WireBytes()+HeaderLen(c.Len(), lo, hi) {
 			t.Fatalf("negotiated %d exceeds COO baseline %d + header", neg.ChunkBytes(c), c.WireBytes())
 		}
+	}
+}
+
+// Regression: a negotiated-mode message must never put more bytes on the
+// real wire than the same chunk sent in COO mode. Both travel through the
+// comm payload registry as their negotiated encoding; the sized-chunk
+// wrapper used to prepend a size-memo varint, inflating every negotiated
+// message by 1-3 bytes over the COO-mode framing of the identical chunk.
+func TestSizedChunkFramingNoOverhead(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	neg := Transport{Mode: ModeNegotiated}
+	for i := 0; i < 100; i++ {
+		c := randomChunk(rng, 400, 100+rng.Intn(8000))
+		it := neg.PackItem(c)
+		sized, ok := it.(*sizedChunk)
+		if !ok {
+			t.Fatalf("negotiated PackItem returned %T", it)
+		}
+		asNegotiated := comm.MarshalPayload(sized)
+		asCOO := comm.MarshalPayload(c)
+		if len(asNegotiated) > len(asCOO) {
+			t.Fatalf("negotiated framing %d bytes > COO framing %d", len(asNegotiated), len(asCOO))
+		}
+		// The receiver must recompute exactly the size the owner accounted.
+		back, err := comm.UnmarshalPayload(asNegotiated)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := back.(*sizedChunk)
+		if !ok {
+			t.Fatalf("decoded %T, want *sizedChunk", back)
+		}
+		if got.bytes != sized.bytes {
+			t.Fatalf("receiver recomputed %d bytes, owner accounted %d", got.bytes, sized.bytes)
+		}
+		assertEqual(t, got.c, c)
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"spardl/internal/livenet"
 	"spardl/internal/pipeline"
 	"spardl/internal/simnet"
+	"spardl/internal/sparse"
 	"spardl/internal/sparsecoll"
 	"spardl/internal/tcpnet"
 	"spardl/internal/train"
@@ -106,6 +107,27 @@ const (
 // and under WireEncoded, round-tripped through the codec — by the given
 // wire mode. SparDL itself is configured via Options.Wire instead.
 func WireVariant(f Factory, mode WireMode) Factory { return sparsecoll.WireVariant(f, mode) }
+
+// DensePolicy selects when merge results switch into the dense-block
+// representation mid-collective (Options.Dense).
+type DensePolicy = sparse.DensePolicy
+
+// Representation-switching policies.
+const (
+	// DenseAdaptive switches once merged entry counts reach half the union
+	// index span — the density where a dense block is no larger on the wire
+	// and merges become contiguous adds. The default.
+	DenseAdaptive = sparse.DenseAdaptive
+	// DenseNever keeps every merge result sparse (pre-switching behaviour).
+	DenseNever = sparse.DenseNever
+	// DenseAlways densifies every merge result (the ablation bound).
+	DenseAlways = sparse.DenseAlways
+)
+
+// DenseVariant wraps a baseline factory with a representation-switching
+// policy for its merge paths. SparDL itself is configured via
+// Options.Dense instead.
+func DenseVariant(f Factory, policy DensePolicy) Factory { return sparsecoll.DenseVariant(f, policy) }
 
 // New builds a SparDL reducer for one worker of a P-worker cluster
 // synchronizing length-n gradients with global selection size k.
