@@ -18,6 +18,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -228,6 +230,120 @@ func emitLiveBaseline(path string, p, n, k int) error {
 	return nil
 }
 
+// tcpModeRecord is one wire mode's steady-state tcpnet measurement.
+type tcpModeRecord struct {
+	Wire         string `json:"wire"`
+	NsPerOp      int64  `json:"ns_per_op"`
+	BytesPerIter int64  `json:"bytes_per_iter"` // real serialized bytes, cluster-wide
+	AllocsPerOp  int64  `json:"allocs_per_op"`  // whole-process heap allocations per iteration
+}
+
+// tcpBaseline is the JSON record emitted by -tcp-baseline: real wall-clock
+// ns/op, real serialized wire bytes, and whole-process allocations for one
+// steady-state SparDL synchronization over loopback TCP sockets, per wire
+// mode. The allocation figure is a runtime.MemStats.Mallocs delta across
+// the timed iterations — it covers every goroutine the transport runs
+// (workers, per-peer readers and writers), which is exactly the data path
+// this baseline defends: a per-frame copy or per-receive buffer shows up
+// here no matter which goroutine pays for it.
+type tcpBaseline struct {
+	Benchmark  string          `json:"benchmark"`
+	P          int             `json:"p"`
+	N          int             `json:"n"`
+	K          int             `json:"k"`
+	Warmup     int             `json:"warmup"`
+	Iterations int             `json:"iterations"`
+	Reps       int             `json:"reps"`
+	Modes      []tcpModeRecord `json:"modes"`
+}
+
+// emitTCPBaseline measures steady-state synchronizations on the loopback
+// tcpnet backend — P worker goroutines, each rank's bytes crossing the
+// kernel through real sockets, reducers and mesh persistent, a SyncClock
+// barrier per iteration like a training loop — and writes the JSON record
+// to path. Extra barriers bracket the timed loop so rank 0's MemStats
+// snapshots happen while every other rank is blocked (allocating nothing):
+// the Mallocs delta covers the timed iterations and only them.
+//
+// Each mode runs as reps independent fleets and the record keeps the
+// per-mode minimum ns/op and allocs/op: a lock-stepped fleet's wall clock
+// is at the scheduler's mercy on a loaded host, and the minimum is the run
+// interference touched least — the standard robust estimator for a
+// wall-clock gate. Serialized bytes are deterministic and identical across
+// reps.
+func emitTCPBaseline(path string, p, n, k int) error {
+	const warmup, iters, reps = 3, 10, 3
+	grads := reduceGrads(p, n)
+	rec := tcpBaseline{Benchmark: "TCPReduceSteadyState", P: p, N: n, K: k,
+		Warmup: warmup, Iterations: iters, Reps: reps}
+	for _, mode := range []spardl.WireMode{spardl.WireCOO, spardl.WireNegotiated, spardl.WireEncoded} {
+		best := tcpModeRecord{Wire: mode.String()}
+		for rep := 0; rep < reps; rep++ {
+			var elapsed time.Duration
+			var allocs uint64
+			report := spardl.TCPLocalBackend().Run(p, func(rank int, ep spardl.CommEndpoint) {
+				r, err := spardl.New(p, rank, n, k, spardl.Options{Wire: mode})
+				if err != nil {
+					panic(err)
+				}
+				g := make([]float32, n)
+				out := make([]float32, n)
+				run := func() {
+					copy(g, grads[rank])
+					r.ReduceInto(ep, g, out)
+					ep.SyncClock()
+				}
+				for it := 0; it < warmup; it++ {
+					run()
+				}
+				ep.ResetStats()
+				var t0 time.Time
+				if rank == 0 {
+					var m0 runtime.MemStats
+					runtime.ReadMemStats(&m0)
+					allocs = m0.Mallocs
+					t0 = time.Now()
+				}
+				// No rank passes this barrier before rank 0 has snapshotted:
+				// everyone else needs rank 0's token to proceed.
+				ep.SyncClock()
+				for it := 0; it < iters; it++ {
+					run()
+				}
+				if rank == 0 {
+					elapsed = time.Since(t0)
+					var m1 runtime.MemStats
+					runtime.ReadMemStats(&m1)
+					allocs = m1.Mallocs - allocs
+				}
+				// Hold the fleet until rank 0 has snapshotted again, so endpoint
+				// teardown allocations stay outside the measured window.
+				ep.SyncClock()
+			})
+			nsPerOp := elapsed.Nanoseconds() / iters
+			allocsPerOp := int64(allocs) / iters
+			if rep == 0 || nsPerOp < best.NsPerOp {
+				best.NsPerOp = nsPerOp
+			}
+			if rep == 0 || allocsPerOp < best.AllocsPerOp {
+				best.AllocsPerOp = allocsPerOp
+			}
+			best.BytesPerIter = report.TotalBytesRecv() / iters
+		}
+		rec.Modes = append(rec.Modes, best)
+	}
+	out, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s:\n%s", path, out)
+	return nil
+}
+
 // runDensitySweep measures the adaptive sparse↔dense representation
 // switching across gradient densities: steady-state TopkDSA all-reduces at
 // k/n from genuinely sparse (1e-3, dense blocks never pay off) to dense
@@ -410,6 +526,9 @@ func main() {
 		out          = flag.String("o", "", "also write results to this file")
 		baseline     = flag.String("reduce-baseline", "", "write the BenchmarkReduceOnce perf baseline (ns/op, bytes-on-wire) to this JSON file and exit")
 		liveBase     = flag.String("live-baseline", "", "write the steady-state livenet baseline (real ns/op + serialized bytes per wire mode, at the -live-p/n/k sizes) to this JSON file and exit")
+		tcpBase      = flag.String("tcp-baseline", "", "write the steady-state loopback-TCP baseline (real ns/op + serialized bytes + whole-process allocs/op per wire mode, at the -live-p/n/k sizes) to this JSON file and exit")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof reads it)")
+		memprofile   = flag.String("memprofile", "", "write an allocation profile taken at exit to this file (go tool pprof reads it)")
 		live         = flag.Bool("live", false, "benchmark one SparDL synchronization on the livenet backend (real encode/decode, wall-clock ns/op) next to the simulated clock, then exit")
 		densitySweep = flag.Bool("density-sweep", false, "sweep gradient density k/n × dense policy (never/adaptive/always) over steady-state TopkDSA all-reduces at the -live-p/n sizes, printing ns/op and negotiated wire bytes, then exit")
 		backend      = flag.String("backend", "", "\"tcp\" forks one OS process per worker over loopback TCP and prints the measured cross-process synchronization next to the simulated clock (at the -live-p/n/k sizes), then exits")
@@ -418,6 +537,30 @@ func main() {
 		liveK        = flag.Int("live-k", 1<<18/100, "global sparse budget for -live / -backend tcp")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle accumulated garbage so live objects dominate
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	// A process forked by -backend tcp below: run one rank of the demo.
 	if tcpCfg, isChild, err := spardl.TCPConfigFromEnv(); isChild {
@@ -447,6 +590,13 @@ func main() {
 
 	if *liveBase != "" {
 		if err := emitLiveBaseline(*liveBase, *liveP, *liveN, *liveK); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *tcpBase != "" {
+		if err := emitTCPBaseline(*tcpBase, *liveP, *liveN, *liveK); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -111,3 +111,27 @@ func (s *snapshot) record(a *sparse.Arena, x *sparse.Chunk) {
 	//spardl:arena-ok diagnostic snapshot is read before the next Reset and never after
 	s.last = c
 }
+
+// The socket handoff: a receive path that decodes a chunk out of
+// arena-owned socket bytes and caches it in the endpoint outlives the
+// epoch rotation — exactly the bug the transport's decode-then-consume
+// contract forbids.
+type endpointCache struct {
+	lastPayload *sparse.Chunk
+}
+
+func (e *endpointCache) retainDecoded(a *sparse.Arena) {
+	c := a.Get(32)
+	e.lastPayload = c // want `arena chunk c escapes into field lastPayload`
+}
+
+// The sanctioned socket handoff: the reader side hands the chunk to the
+// consumer over a queue whose pop is ordered before the epoch rotation
+// that reclaims the storage (the transport's recvq-then-barrier contract),
+// recorded as a reviewed exception — the analyzer cannot see FIFO-before-
+// barrier ordering, the reviewer can.
+func enqueueDecoded(a *sparse.Arena, recvq chan<- *sparse.Chunk) {
+	c := a.Get(32)
+	//spardl:arena-ok the consumer pops before the barrier rotation that reclaims this epoch
+	recvq <- c
+}

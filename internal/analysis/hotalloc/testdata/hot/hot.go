@@ -94,6 +94,51 @@ func densifyArena(a *sparse.Arena, chunks []*sparse.Chunk, span int) *sparse.Chu
 	return out
 }
 
+// Framing a send queue must not allocate per frame: a fresh header buffer
+// for every message is the per-iteration garbage the shared header strip
+// exists to remove, and formatting transport errors inline allocates even
+// on the rounds that never fail.
+//
+//spardl:hotpath
+func frameQueuePerMessage(payloads [][]byte, emit func([]byte)) error {
+	for _, p := range payloads {
+		hdr := make([]byte, 16) // want `make allocates on every loop iteration`
+		hdr[0] = byte(len(p))
+		emit(hdr)
+		emit(p)
+		if len(p) == 0 {
+			return fmt.Errorf("empty frame %d", len(p)) // want `fmt.Errorf allocates`
+		}
+	}
+	return nil
+}
+
+// The sanctioned framing shape: one pre-sized header strip per batch,
+// frames handed off as capacity-bounded subslices of it, and error
+// construction pushed to an unannotated cold helper so the hot loop only
+// pays for it on the failure path.
+//
+//spardl:hotpath
+func frameQueueStrip(payloads [][]byte, strip []byte, emit func([]byte)) error {
+	strip = strip[:0]
+	for _, p := range payloads {
+		h := len(strip)
+		strip = append(strip, byte(len(p)))
+		emit(strip[h:len(strip):len(strip)])
+		emit(p)
+		if len(p) == 0 {
+			return emptyFrameError(len(p))
+		}
+	}
+	return nil
+}
+
+// emptyFrameError is the cold half of frameQueueStrip: unannotated, so it
+// may allocate however it likes.
+func emptyFrameError(n int) error {
+	return fmt.Errorf("empty frame %d", n)
+}
+
 // Unannotated code may allocate freely.
 func coldPath(rounds int) []string {
 	var out []string

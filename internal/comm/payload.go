@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"spardl/internal/sparse"
 )
 
 // Payload serialization for byte-level backends (livenet).
@@ -56,6 +58,13 @@ type PayloadCodec struct {
 	// Decode parses a body produced by Append. It must not retain body:
 	// byte-level backends recycle receive buffers after decoding.
 	Decode func(body []byte) (any, error)
+	// DecodeArena, when non-nil, is the zero-copy variant used by
+	// arena-backed transports (tcpnet's receive path): body is storage the
+	// supplied arena owns, alive at least as long as anything decoded this
+	// epoch, so the decoded value may alias body and should draw its own
+	// allocations from a. Codecs without it fall back to Decode — correct,
+	// just not allocation-free.
+	DecodeArena func(a *sparse.Arena, body []byte) (any, error)
 }
 
 var payloadCodecs []PayloadCodec
@@ -146,7 +155,15 @@ func AppendPayload(dst []byte, v any) []byte {
 
 // UnmarshalPayload decodes one payload that must span the whole buffer.
 func UnmarshalPayload(buf []byte) (any, error) {
-	v, rest, err := ReadPayload(buf)
+	return UnmarshalPayloadArena(nil, buf)
+}
+
+// UnmarshalPayloadArena is the arena-aware UnmarshalPayload: with a
+// non-nil arena, buf must be arena-owned storage and decoded values may
+// alias it (see ReadPayloadArena). A nil arena is exactly
+// UnmarshalPayload.
+func UnmarshalPayloadArena(a *sparse.Arena, buf []byte) (any, error) {
+	v, rest, err := ReadPayloadArena(a, buf)
 	if err != nil {
 		return nil, err
 	}
@@ -159,6 +176,17 @@ func UnmarshalPayload(buf []byte) (any, error) {
 // ReadPayload decodes the next payload from buf and returns the remainder.
 // Decoded values never alias buf, so callers may recycle it.
 func ReadPayload(buf []byte) (v any, rest []byte, err error) {
+	return ReadPayloadArena(nil, buf)
+}
+
+// ReadPayloadArena decodes the next payload from buf and returns the
+// remainder. With a nil arena it is exactly ReadPayload: decoded values
+// never alias buf. With a non-nil arena the contract inverts for zero-copy
+// receive paths: buf must be storage the arena owns (alive through the
+// current epoch plus quarantine), decoded values MAY alias buf (raw []byte
+// payloads are returned in place rather than copied), and container and
+// chunk allocations are drawn from the arena via each codec's DecodeArena.
+func ReadPayloadArena(a *sparse.Arena, buf []byte) (v any, rest []byte, err error) {
 	if len(buf) == 0 {
 		return nil, nil, fmt.Errorf("comm: empty payload")
 	}
@@ -180,6 +208,12 @@ func ReadPayload(buf []byte) (v any, rest []byte, err error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		if a != nil {
+			// Arena mode: buf is arena-owned and outlives the decoded
+			// value, so hand back the body in place — this is the
+			// zero-copy receive path for pre-encoded payloads.
+			return raw, rest, nil
+		}
 		out := make([]byte, len(raw))
 		copy(out, raw)
 		return out, rest, nil
@@ -194,6 +228,10 @@ func ReadPayload(buf []byte) (v any, rest []byte, err error) {
 			raw, rest, err = readBlob(rest, "byte-slice item")
 			if err != nil {
 				return nil, nil, err
+			}
+			if a != nil {
+				out[i] = raw
+				continue
 			}
 			out[i] = make([]byte, len(raw))
 			copy(out[i], raw)
@@ -213,7 +251,7 @@ func ReadPayload(buf []byte) (v any, rest []byte, err error) {
 		}
 		return out, rest[4*count:], nil
 	case tagAnySlice:
-		out, rest, err := ReadPayloadList(body)
+		out, rest, err := ReadPayloadListArena(a, body)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -230,7 +268,7 @@ func ReadPayload(buf []byte) (v any, rest []byte, err error) {
 				return nil, nil, fmt.Errorf("comm: bad map key varint")
 			}
 			rest = rest[n:]
-			out[int(k)], rest, err = ReadPayload(rest)
+			out[int(k)], rest, err = ReadPayloadArena(a, rest)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -250,7 +288,12 @@ func ReadPayload(buf []byte) (v any, rest []byte, err error) {
 		if n > len(body) {
 			return nil, nil, fmt.Errorf("comm: registered payload length %d exceeds %d remaining bytes", n, len(body))
 		}
-		v, err := c.Decode(body[:n])
+		var v any
+		if a != nil && c.DecodeArena != nil {
+			v, err = c.DecodeArena(a, body[:n])
+		} else {
+			v, err = c.Decode(body[:n])
+		}
 		if err != nil {
 			return nil, nil, fmt.Errorf("comm: payload tag 0x%02x: %w", tag, err)
 		}
@@ -274,16 +317,25 @@ func AppendPayloadList(dst []byte, count int, at func(int) any) []byte {
 // The count is bounded by the bytes actually present before anything is
 // allocated, so corrupt buffers error out of the decode path cleanly.
 func ReadPayloadList(buf []byte) (items []any, rest []byte, err error) {
+	return ReadPayloadListArena(nil, buf)
+}
+
+// ReadPayloadListArena is the arena-aware ReadPayloadList: the item slice
+// comes from the arena's item slabs (heap on a nil arena) and nested
+// payloads decode under the ReadPayloadArena aliasing contract.
+func ReadPayloadListArena(a *sparse.Arena, buf []byte) (items []any, rest []byte, err error) {
 	count, rest, err := readCount(buf, "payload list")
 	if err != nil {
 		return nil, nil, err
 	}
-	items = make([]any, count)
-	for i := range items {
-		items[i], rest, err = ReadPayload(rest)
+	items = a.Anys(count) // nil-safe: heap when a == nil
+	for i := 0; i < count; i++ {
+		var v any
+		v, rest, err = ReadPayloadArena(a, rest)
 		if err != nil {
 			return nil, nil, err
 		}
+		items = append(items, v)
 	}
 	return items, rest, nil
 }

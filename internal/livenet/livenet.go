@@ -50,7 +50,7 @@ type message struct {
 // Fabric connects P endpoints with per-pair FIFO byte queues.
 type Fabric struct {
 	p      int
-	queues []*fifo[message] // from*p + to
+	queues []*comm.Fifo[message] // from*p + to
 	start  time.Time
 	poison sync.Once
 
@@ -64,9 +64,9 @@ func New(p int) *Fabric {
 	if p <= 0 {
 		panic("livenet: need at least one worker")
 	}
-	f := &Fabric{p: p, queues: make([]*fifo[message], p*p), start: time.Now()}
+	f := &Fabric{p: p, queues: make([]*comm.Fifo[message], p*p), start: time.Now()}
 	for i := range f.queues {
-		f.queues[i] = newFifo[message]()
+		f.queues[i] = comm.NewFifo[message]()
 	}
 	return f
 }
@@ -80,7 +80,11 @@ func (f *Fabric) Endpoint(rank int) *Endpoint {
 	if rank < 0 || rank >= f.p {
 		panic(fmt.Sprintf("livenet: rank %d out of range [0,%d)", rank, f.p))
 	}
-	return &Endpoint{fabric: f, rank: rank}
+	e := &Endpoint{fabric: f, rank: rank}
+	e.lane = comm.NewStreamLane(func(r any) {
+		f.poisonWith(fmt.Sprintf("worker %d (comm stream): %v", rank, r))
+	})
+	return e
 }
 
 // Poison closes every queue so that any worker blocked in Recv panics
@@ -88,7 +92,7 @@ func (f *Fabric) Endpoint(rank int) *Endpoint {
 func (f *Fabric) Poison() {
 	f.poison.Do(func() {
 		for _, q := range f.queues {
-			q.close()
+			q.Close()
 		}
 	})
 }
@@ -115,7 +119,7 @@ func (f *Fabric) Fault() any {
 // push enqueues m for delivery, panicking on a poisoned fabric (the
 // cascade panic, not a root cause — poisonWith filters it).
 func (f *Fabric) push(from, to int, m message) {
-	if !f.queues[from*f.p+to].push(m) {
+	if !f.queues[from*f.p+to].Push(m) {
 		panic("livenet: send on poisoned fabric")
 	}
 }
@@ -123,7 +127,7 @@ func (f *Fabric) push(from, to int, m message) {
 // pop dequeues the next message from the pair queue, panicking on a
 // poisoned fabric.
 func (f *Fabric) pop(from, to int) message {
-	m, ok := f.queues[from*f.p+to].pop()
+	m, ok := f.queues[from*f.p+to].Pop()
 	if !ok {
 		panic("livenet: recv on poisoned fabric")
 	}
@@ -147,12 +151,10 @@ type Endpoint struct {
 	mu    sync.Mutex // guards stats (main goroutine + stream goroutine)
 	stats comm.Stats
 
-	// Communication-stream state (Overlap/Join).
-	tasks      *fifo[func()]
-	streamDone chan struct{}
-	pending    sync.WaitGroup
-	streamBusy time.Duration // guarded by mu
-	streamErr  any           // guarded by mu; first stream-body panic
+	// lane is the communication stream behind Overlap/Join (shared
+	// implementation in internal/comm); its poison hook poisons the
+	// fabric with this worker's rank as the root cause.
+	lane *comm.StreamLane
 }
 
 var _ comm.Endpoint = (*Endpoint)(nil)
@@ -244,37 +246,7 @@ func (e *Endpoint) SendRecv(peer int, payload any, bytes int) (got any, gotBytes
 // between Overlap and Join the main goroutine must not Send or Recv
 // outside the stream (the ordering contract all backends share).
 func (e *Endpoint) Overlap(body func(comm.Endpoint)) {
-	if e.tasks == nil {
-		e.tasks = newFifo[func()]()
-		e.streamDone = make(chan struct{})
-		go e.stream()
-	}
-	e.pending.Add(1)
-	ok := e.tasks.push(func() {
-		defer e.pending.Done()
-		defer func() {
-			if r := recover(); r != nil {
-				e.mu.Lock()
-				if e.streamErr == nil {
-					e.streamErr = r
-				}
-				e.mu.Unlock()
-				// Record the root cause before unblocking peers (and
-				// possibly our own main goroutine) waiting on queues that
-				// will never be fed: the cascade of poisoned-fabric panics
-				// this triggers must not mask the original failure.
-				e.fabric.poisonWith(fmt.Sprintf("worker %d (comm stream): %v", e.rank, r))
-			}
-		}()
-		t0 := time.Now()
-		body(streamEndpoint{e})
-		busy := time.Since(t0)
-		e.mu.Lock()
-		e.streamBusy += busy
-		e.mu.Unlock()
-	})
-	if !ok {
-		e.pending.Done()
+	if !e.lane.Launch(func() { body(streamEndpoint{e}) }) {
 		panic("livenet: Overlap after shutdown")
 	}
 }
@@ -306,40 +278,22 @@ func (s streamEndpoint) Overlap(func(comm.Endpoint)) {
 	panic("livenet: Overlap calls cannot nest")
 }
 
-// stream executes overlap bodies in launch order until the task queue is
-// closed by shutdown.
-func (e *Endpoint) stream() {
-	defer close(e.streamDone)
-	for {
-		fn, ok := e.tasks.pop()
-		if !ok {
-			return
-		}
-		fn()
-	}
-}
-
 // Join blocks until the communication stream has drained, then books the
 // measured wait as exposed communication and the remainder of the
 // stream's busy time as OverlapSaved. A stream-body panic resurfaces
 // here, on the worker's own goroutine. Join with no pending work is a
 // no-op, so serial schedules share the pipelined code path.
 func (e *Endpoint) Join() {
-	t0 := time.Now()
-	e.pending.Wait()
-	exposed := time.Since(t0)
+	exposed, busy, err := e.lane.Join()
 	e.mu.Lock()
-	err := e.streamErr
-	e.streamErr = nil
-	saved := e.streamBusy - exposed
-	if saved < 0 {
-		saved = 0
-	}
-	if e.streamBusy > 0 {
+	if busy > 0 {
+		saved := busy - exposed
+		if saved < 0 {
+			saved = 0
+		}
 		e.stats.ExposedComm += exposed.Seconds()
 		e.stats.OverlapSaved += saved.Seconds()
 	}
-	e.streamBusy = 0
 	e.mu.Unlock()
 	if err != nil {
 		panic(err)
@@ -348,11 +302,7 @@ func (e *Endpoint) Join() {
 
 // shutdown stops the communication stream goroutine, if one was started.
 func (e *Endpoint) shutdown() {
-	if e.tasks == nil {
-		return
-	}
-	e.tasks.close()
-	<-e.streamDone
+	e.lane.Shutdown()
 }
 
 // SyncClock barriers all workers: each sends an empty token to every peer
@@ -373,66 +323,4 @@ func (e *Endpoint) SyncClock() {
 			e.fabric.pop(from, e.rank)
 		}
 	}
-}
-
-// fifo is an unbounded FIFO with blocking pop. Message queues use it to
-// mirror eager sends — the transport never applies backpressure, exactly
-// like simnet, so the two backends execute identical schedules — and the
-// communication stream uses it for its task lane, so Overlap never blocks
-// the main goroutine no matter how many buckets launch before a Join.
-type fifo[T any] struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []T
-	head   int // consumed prefix; compacted when the queue drains
-	closed bool
-}
-
-func newFifo[T any]() *fifo[T] {
-	q := &fifo[T]{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-// push reports false when the queue is closed instead of enqueuing.
-func (q *fifo[T]) push(x T) bool {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.closed {
-		return false
-	}
-	q.items = append(q.items, x)
-	q.cond.Signal()
-	return true
-}
-
-// pop blocks until an item is available or the queue is closed empty
-// (reported as ok = false).
-func (q *fifo[T]) pop() (x T, ok bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for q.head == len(q.items) && !q.closed {
-		q.cond.Wait()
-	}
-	if q.head == len(q.items) {
-		return x, false
-	}
-	x = q.items[q.head]
-	var zero T
-	q.items[q.head] = zero // drop the payload reference
-	q.head++
-	if q.head == len(q.items) {
-		// Drained: rewind so the backing array is reused forever instead
-		// of marching forward and reallocating on every refill.
-		q.items = q.items[:0]
-		q.head = 0
-	}
-	return x, true
-}
-
-func (q *fifo[T]) close() {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.closed = true
-	q.cond.Broadcast()
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"spardl/internal/comm"
+	"spardl/internal/sparse"
 )
 
 // The all-gather item wrappers of this package (TopkDSA's dense-switch
@@ -25,20 +26,10 @@ func init() {
 			return comm.AppendPayload(dst, b.payload)
 		},
 		Decode: func(body []byte) (any, error) {
-			block, used := binary.Uvarint(body)
-			if used <= 0 {
-				return nil, fmt.Errorf("sparsecoll: bad dsa block varint")
-			}
-			body = body[used:]
-			bytes, used := binary.Uvarint(body)
-			if used <= 0 {
-				return nil, fmt.Errorf("sparsecoll: bad dsa bytes varint")
-			}
-			payload, err := comm.UnmarshalPayload(body[used:])
-			if err != nil {
-				return nil, err
-			}
-			return &dsaBlock{block: int(block), payload: payload, bytes: int(bytes)}, nil
+			return decodeDSABlock(nil, body)
+		},
+		DecodeArena: func(a *sparse.Arena, body []byte) (any, error) {
+			return decodeDSABlock(a, body)
 		},
 	})
 	comm.RegisterPayload(comm.PayloadCodec{
@@ -50,18 +41,46 @@ func init() {
 			return comm.AppendPayloadList(dst, len(it.payloads), func(i int) any { return it.payloads[i] })
 		},
 		Decode: func(body []byte) (any, error) {
-			bytes, used := binary.Uvarint(body)
-			if used <= 0 {
-				return nil, fmt.Errorf("sparsecoll: bad ok-item bytes varint")
-			}
-			payloads, rest, err := comm.ReadPayloadList(body[used:])
-			if err != nil {
-				return nil, err
-			}
-			if len(rest) != 0 {
-				return nil, fmt.Errorf("sparsecoll: %d trailing bytes after ok-item", len(rest))
-			}
-			return &okItem{bytes: int(bytes), payloads: payloads}, nil
+			return decodeOkItem(nil, body)
+		},
+		DecodeArena: func(a *sparse.Arena, body []byte) (any, error) {
+			return decodeOkItem(a, body)
 		},
 	})
+}
+
+// decodeDSABlock reverses the TagDSABlock body; the nested payload decodes
+// under the arena's aliasing contract when one is supplied.
+func decodeDSABlock(a *sparse.Arena, body []byte) (any, error) {
+	block, used := binary.Uvarint(body)
+	if used <= 0 {
+		return nil, fmt.Errorf("sparsecoll: bad dsa block varint")
+	}
+	body = body[used:]
+	bytes, used := binary.Uvarint(body)
+	if used <= 0 {
+		return nil, fmt.Errorf("sparsecoll: bad dsa bytes varint")
+	}
+	payload, err := comm.UnmarshalPayloadArena(a, body[used:])
+	if err != nil {
+		return nil, err
+	}
+	return &dsaBlock{block: int(block), payload: payload, bytes: int(bytes)}, nil
+}
+
+// decodeOkItem reverses the TagOkItem body; the nested payload list and
+// its items draw from the arena when one is supplied.
+func decodeOkItem(a *sparse.Arena, body []byte) (any, error) {
+	bytes, used := binary.Uvarint(body)
+	if used <= 0 {
+		return nil, fmt.Errorf("sparsecoll: bad ok-item bytes varint")
+	}
+	payloads, rest, err := comm.ReadPayloadListArena(a, body[used:])
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("sparsecoll: %d trailing bytes after ok-item", len(rest))
+	}
+	return &okItem{bytes: int(bytes), payloads: payloads}, nil
 }

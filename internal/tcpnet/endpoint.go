@@ -1,8 +1,8 @@
 package tcpnet
 
 import (
-	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -29,11 +29,12 @@ type message struct {
 // allocation.
 const maxFrameBytes = 1 << 30
 
-// bufPool recycles serialization and receive buffers: Send marshals into a
-// pooled buffer which the writer goroutine returns after the socket write,
-// and the reader goroutine fills a pooled buffer which Recv returns after
-// decoding (decoders never retain their input, per the comm.PayloadCodec
-// contract).
+// bufPool recycles send-side serialization buffers: Send marshals into a
+// pooled buffer whose ownership rides the queue into the writer goroutine,
+// which returns it after the scatter/gather socket write consumes it. The
+// receive side does not pool: payload bytes land directly in the
+// endpoint's receive arena and are reclaimed wholesale by the per-
+// iteration rotation (see Endpoint.recvArena).
 var bufPool sparse.SlicePool[byte]
 
 func getBuf(n int) []byte { return bufPool.Get(n) }
@@ -44,11 +45,30 @@ func putBuf(b []byte)     { bufPool.Put(b) }
 type peer struct {
 	rank  int
 	conn  *net.TCPConn
-	recvq *fifo[message]
-	sendq *fifo[message]
+	recvq *comm.Fifo[message]
+	sendq *comm.Fifo[message]
+
+	// arena owns this peer's inbound payload bytes: the reader goroutine
+	// carves frame-body destinations out of it (alloc) and SyncClock
+	// rotates it once per iteration. Sharding the storage per peer keeps
+	// the lock a reader-vs-rotation affair — bump allocations measured in
+	// nanoseconds — so no reader ever stalls behind another peer's reader
+	// or behind Recv's decode.
+	arenaMu sync.Mutex
+	arena   *sparse.Arena
 
 	mu    sync.Mutex
 	cause string // first failure involving this peer; "" while healthy
+}
+
+// alloc carves an n-byte payload destination out of the peer's receive
+// arena for its reader goroutine; arenaMu serializes it against
+// SyncClock's rotation.
+func (pr *peer) alloc(n int) []byte {
+	pr.arenaMu.Lock()
+	b := pr.arena.Bytes(n)[:n]
+	pr.arenaMu.Unlock()
+	return b
 }
 
 // fail records cause (first writer wins) and closes the inbound queue so
@@ -59,7 +79,7 @@ func (pr *peer) fail(cause string) {
 		pr.cause = cause
 	}
 	pr.mu.Unlock()
-	pr.recvq.close()
+	pr.recvq.Close()
 }
 
 // why returns the recorded failure cause, or a generic disconnect note.
@@ -87,23 +107,37 @@ type Endpoint struct {
 	mu    sync.Mutex // guards stats (main goroutine + stream goroutine)
 	stats comm.Stats
 
-	// Communication-stream state (Overlap/Join), mirroring livenet.
-	tasks      *fifo[func()]
-	streamDone chan struct{}
-	pending    sync.WaitGroup
-	streamBusy time.Duration // guarded by mu
-	streamErr  any           // guarded by mu; first stream-body panic
+	// lane is the communication stream behind Overlap/Join (shared
+	// implementation in internal/comm). Its poison hook is abortConns,
+	// never Abort: the hook runs ON the stream goroutine, and Abort waits
+	// for the stream to drain — from inside it, that would deadlock.
+	lane *comm.StreamLane
+
+	// decodeArena owns everything Recv decodes from inbound payload bytes
+	// (chunk headers, pointer slices, wrapper structs); the decoded values
+	// alias the per-peer arena slabs they were parsed from, and both arena
+	// families rotate together at SyncClock, so the aliased bytes outlive
+	// the values. It is deliberately unlocked: the Overlap contract keeps
+	// Recv and SyncClock on a single goroutine at a time (main, or the
+	// comm stream between Overlap and Join), so the decoder never races
+	// itself — sparse.Arena's single-owner design, applied literally.
+	decodeArena *sparse.Arena
 }
 
 var _ comm.Endpoint = (*Endpoint)(nil)
 
 func newEndpoint(p, rank int, timeout time.Duration) *Endpoint {
-	e := &Endpoint{p: p, rank: rank, timeout: timeout, start: time.Now(), peers: make([]*peer, p)}
+	e := &Endpoint{p: p, rank: rank, timeout: timeout, start: time.Now(),
+		peers: make([]*peer, p), decodeArena: sparse.NewArena()}
 	for r := 0; r < p; r++ {
 		if r != rank {
-			e.peers[r] = &peer{rank: r, recvq: newFifo[message](), sendq: newFifo[message]()}
+			e.peers[r] = &peer{rank: r, recvq: comm.NewFifo[message](), sendq: comm.NewFifo[message](),
+				arena: sparse.NewArena()}
 		}
 	}
+	e.lane = comm.NewStreamLane(func(r any) {
+		e.abortConns(fmt.Sprintf("worker %d (comm stream): %v", e.rank, r))
+	})
 	return e
 }
 
@@ -152,9 +186,9 @@ func (e *Endpoint) run() {
 // again, so the cause is never observed in healthy runs.
 func (e *Endpoint) reader(pr *peer) {
 	defer e.readers.Done()
-	br := bufio.NewReaderSize(pr.conn, 64<<10)
+	fr := newFrameReader(pr.conn, pr.alloc)
 	for {
-		m, err := readFrame(br)
+		m, err := fr.next()
 		if err != nil {
 			switch {
 			case e.closed.Load():
@@ -166,28 +200,29 @@ func (e *Endpoint) reader(pr *peer) {
 			}
 			return
 		}
-		if !pr.recvq.push(m) {
-			if m.buf != nil {
-				putBuf(m.buf)
-			}
-			return // inbound queue closed (Abort); stop reading
+		if !pr.recvq.Push(m) {
+			return // inbound queue closed (Abort); the arena reclaims m.buf
 		}
 	}
 }
 
-// writer drains the outbound queue onto the socket, flushing whenever the
-// queue momentarily empties (the latency-correct policy: batch while the
-// sender is bursting, flush before blocking). Queue closure — Close's
-// graceful path — flushes and half-closes the connection so the peer's
-// reader sees EOF only after every queued frame.
+// writer drains the outbound queue onto the socket through a
+// scatter/gather batch: frames accumulate while the sender is bursting and
+// one vectored write moves header and payload slices kernel-ward with no
+// intermediate copy, flushing whenever the queue momentarily empties (the
+// latency-correct policy: batch while the sender bursts, write before
+// blocking). Queue closure — Close's graceful path — flushes and
+// half-closes the connection so the peer's reader sees EOF only after
+// every queued frame; the final flush and CloseWrite errors surface
+// through pr.fail rather than being dropped.
 func (e *Endpoint) writer(pr *peer) {
 	defer e.writers.Done()
-	bw := bufio.NewWriterSize(pr.conn, 64<<10)
+	fw := newFrameWriter(pr.conn)
 	fail := func(err error) {
 		pr.fail(fmt.Sprintf("send to worker %d failed: %v", pr.rank, err))
-		pr.sendq.close()
+		pr.sendq.Close()
 		for { // release any queued buffers
-			m, ok := pr.sendq.pop()
+			m, ok := pr.sendq.Pop()
 			if !ok {
 				return
 			}
@@ -197,77 +232,263 @@ func (e *Endpoint) writer(pr *peer) {
 		}
 	}
 	for {
-		m, ok := pr.sendq.tryPop()
+		m, ok := pr.sendq.TryPop()
 		if !ok {
-			if err := bw.Flush(); err != nil {
+			if err := fw.flush(); err != nil {
 				fail(err)
 				return
 			}
-			if m, ok = pr.sendq.pop(); !ok {
-				bw.Flush()
-				pr.conn.CloseWrite()
+			if m, ok = pr.sendq.Pop(); !ok {
+				// Graceful close. The batch is provably empty — flushed
+				// above, and nothing was queued since — but a final flush
+				// guards the invariant, and its error (and CloseWrite's)
+				// goes through pr.fail instead of vanishing: a peer that
+				// missed queued frames must find a cause, not a clean EOF.
+				if err := fw.flush(); err != nil {
+					fail(err)
+					return
+				}
+				if err := pr.conn.CloseWrite(); err != nil {
+					pr.fail(fmt.Sprintf("closing stream to worker %d: %v", pr.rank, err))
+				}
 				return
 			}
 		}
-		err := writeFrame(bw, m)
-		if m.buf != nil {
-			putBuf(m.buf)
-		}
-		if err != nil {
-			fail(err)
-			return
+		fw.queue(m)
+		if fw.frames >= writerBatchFrames || fw.bytes >= writerBatchBytes {
+			if err := fw.flush(); err != nil {
+				fail(err)
+				return
+			}
 		}
 	}
 }
 
-func writeFrame(bw *bufio.Writer, m message) error {
-	if err := bw.WriteByte(m.kind); err != nil {
-		return err
+const (
+	// frameHdrMax bounds one frame's header: kind byte plus two uvarints
+	// (accounted size, payload length).
+	frameHdrMax = 1 + 2*binary.MaxVarintLen64
+	// writerBatchFrames / writerBatchBytes bound one scatter/gather batch:
+	// enough frames to amortize the vectored-write syscall across a burst
+	// of small messages, small enough to keep per-connection buffering flat
+	// and the iovec list well under the kernel's limit.
+	writerBatchFrames = 64
+	writerBatchBytes  = 256 << 10
+)
+
+// frameWriter batches outbound frames into one scatter/gather write:
+// queue appends each frame's header to a shared header strip and its
+// payload by reference, and flush hands the whole net.Buffers vector to
+// the TCP connection's WriteTo (writev on a *net.TCPConn) — the send
+// path's zero-copy half: payload bytes move pooled-buffer→kernel with no
+// bufio memcpy between.
+type frameWriter struct {
+	conn   *net.TCPConn
+	batch  net.Buffers // scatter list for WriteTo; rebuilt every batch
+	owned  [][]byte    // pooled payload buffers, released after the write
+	hdrs   []byte      // header bytes of queued frames (batch subslices it)
+	frames int
+	bytes  int
+}
+
+func newFrameWriter(conn *net.TCPConn) *frameWriter {
+	return &frameWriter{
+		conn:  conn,
+		batch: make(net.Buffers, 0, 2*writerBatchFrames),
+		owned: make([][]byte, 0, writerBatchFrames),
+		hdrs:  make([]byte, 0, writerBatchFrames*frameHdrMax),
 	}
-	if m.kind != frameData {
+}
+
+// queue adds m to the current batch. The pooled payload buffer's ownership
+// moves into fw.owned: it stays alive, unmodified, until flush's socket
+// write has consumed it. The header strip is pre-sized for a full batch,
+// so appends never reallocate and the subslices in fw.batch stay valid.
+//
+//spardl:hotpath
+func (fw *frameWriter) queue(m message) {
+	h := len(fw.hdrs)
+	fw.hdrs = appendFrameHeader(fw.hdrs, m)
+	fw.batch = append(fw.batch, fw.hdrs[h:len(fw.hdrs):len(fw.hdrs)])
+	fw.bytes += len(fw.hdrs) - h
+	if m.buf != nil {
+		if len(m.buf) > 0 {
+			fw.batch = append(fw.batch, m.buf)
+			fw.bytes += len(m.buf)
+		}
+		fw.owned = append(fw.owned, m.buf)
+	}
+	fw.frames++
+}
+
+// flush writes the batch with one vectored write and releases the payload
+// buffers it consumed. The batch is reset even on error: the writer fails
+// the peer and drains, so the queued frames are dead either way.
+//
+//spardl:hotpath
+func (fw *frameWriter) flush() error {
+	if fw.frames == 0 {
 		return nil
 	}
-	var hdr [2 * binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(m.accounted))
-	n += binary.PutUvarint(hdr[n:], uint64(len(m.buf)))
-	if _, err := bw.Write(hdr[:n]); err != nil {
-		return err
+	// WriteTo consumes (advances and re-slices) the vector it is handed,
+	// so give it a copy of the slice header; the backing array is ours
+	// and is rebuilt from scratch next batch.
+	bufs := fw.batch
+	_, err := bufs.WriteTo(fw.conn)
+	for i := range fw.owned {
+		putBuf(fw.owned[i])
+		fw.owned[i] = nil
 	}
-	_, err := bw.Write(m.buf)
+	fw.owned = fw.owned[:0]
+	fw.batch = fw.batch[:0]
+	fw.hdrs = fw.hdrs[:0]
+	fw.frames, fw.bytes = 0, 0
 	return err
 }
 
-func readFrame(br *bufio.Reader) (message, error) {
-	kind, err := br.ReadByte()
+// appendFrameHeader appends m's wire header onto dst: the kind byte plus —
+// for data frames — uvarint accounted and payload-length fields. It is the
+// single encoder the frame writer and the round-trip fuzzer share.
+//
+//spardl:hotpath
+func appendFrameHeader(dst []byte, m message) []byte {
+	dst = append(dst, m.kind)
+	if m.kind == frameData {
+		dst = binary.AppendUvarint(dst, uint64(m.accounted))
+		dst = binary.AppendUvarint(dst, uint64(len(m.buf)))
+	}
+	return dst
+}
+
+// readerStickyBytes sizes the frame reader's sticky buffer. It matches the
+// kernel's default loopback read granularity so one syscall drains a whole
+// burst of batched frames; payload bytes the buffer happens to hold are
+// memcpy'd to their arena destination and only the tail past the buffer is
+// read directly, so a larger buffer trades (cheap) copies for (expensive)
+// syscalls without ever double-buffering more than one read's worth.
+const readerStickyBytes = 64 << 10
+
+// frameReader decodes the inbound frame stream: headers parse out of a
+// small sticky buffer (one read covers many batched small frames), and
+// data-frame payloads land directly in the storage the alloc callback
+// provides — the receive path's zero-copy half: alloc hands out
+// arena-owned slabs, so the payload's only user-space copy is the
+// kernel-to-destination read itself.
+type frameReader struct {
+	src   io.Reader
+	alloc func(n int) []byte
+	buf   []byte
+	r, w  int // unconsumed window of buf
+}
+
+func newFrameReader(src io.Reader, alloc func(n int) []byte) *frameReader {
+	return &frameReader{src: src, alloc: alloc, buf: make([]byte, readerStickyBytes)}
+}
+
+// next reads one frame. io.EOF at a frame boundary is a clean close; a
+// torn frame surfaces as ErrUnexpectedEOF, a corrupt header as a
+// descriptive error — never a panic or an over-read past the frame.
+//
+//spardl:hotpath
+func (fr *frameReader) next() (message, error) {
+	kind, err := fr.readByte()
 	if err != nil {
-		return message{}, err
+		return message{}, err // io.EOF here is a graceful close
 	}
 	if kind != frameData {
 		if kind != frameSync {
-			return message{}, fmt.Errorf("unknown frame kind 0x%02x", kind)
+			return message{}, badFrameKind(kind)
 		}
 		return message{kind: kind}, nil
 	}
-	acc, err := binary.ReadUvarint(br)
+	acc, err := fr.readUvarint()
 	if err != nil {
 		return message{}, frameErr(err)
 	}
-	n, err := binary.ReadUvarint(br)
+	n, err := fr.readUvarint()
 	if err != nil {
 		return message{}, frameErr(err)
 	}
 	if n > maxFrameBytes {
 		// A garbage length (torn frame, stray writer) must take the clean
 		// "connection failed" poison path, not panic the process inside
-		// make([]byte, 2^62).
-		return message{}, fmt.Errorf("frame length %d exceeds the %d-byte protocol cap", n, maxFrameBytes)
+		// an absurd allocation.
+		return message{}, frameCapError(n)
 	}
-	buf := getBuf(int(n))
-	if _, err := io.ReadFull(br, buf); err != nil {
-		putBuf(buf)
-		return message{}, frameErr(err)
+	buf := fr.alloc(int(n))
+	// Drain whatever of the payload the sticky buffer already holds, then
+	// read the remainder straight into its destination.
+	c := copy(buf, fr.buf[fr.r:fr.w])
+	fr.r += c
+	if c < int(n) {
+		if _, err := io.ReadFull(fr.src, buf[c:]); err != nil {
+			return message{}, frameErr(err)
+		}
 	}
 	return message{kind: kind, buf: buf, accounted: int(acc)}, nil
+}
+
+//spardl:hotpath
+func (fr *frameReader) readByte() (byte, error) {
+	for fr.r == fr.w {
+		if err := fr.fill(); err != nil {
+			return 0, err
+		}
+	}
+	b := fr.buf[fr.r]
+	fr.r++
+	return b, nil
+}
+
+//spardl:hotpath
+func (fr *frameReader) readUvarint() (uint64, error) {
+	for {
+		x, n := binary.Uvarint(fr.buf[fr.r:fr.w])
+		if n > 0 {
+			fr.r += n
+			return x, nil
+		}
+		if n < 0 || fr.w-fr.r >= binary.MaxVarintLen64 {
+			return 0, errMalformedVarint
+		}
+		if err := fr.fill(); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// fill reads more bytes into the sticky buffer, compacting the consumed
+// prefix when the tail runs out of room; it errors only when no byte
+// arrived.
+func (fr *frameReader) fill() error {
+	if fr.r == fr.w {
+		fr.r, fr.w = 0, 0
+	} else if fr.w == len(fr.buf) {
+		fr.w = copy(fr.buf, fr.buf[fr.r:fr.w])
+		fr.r = 0
+	}
+	n, err := fr.src.Read(fr.buf[fr.w:])
+	fr.w += n
+	if n > 0 {
+		return nil
+	}
+	if err == nil {
+		err = io.ErrNoProgress
+	}
+	return err
+}
+
+// errMalformedVarint, badFrameKind and frameCapError keep error
+// construction off the annotated hot paths; all three feed the reader's
+// clean "connection failed" poison route.
+var errMalformedVarint = errors.New("malformed frame header varint")
+
+func badFrameKind(kind byte) error {
+	return fmt.Errorf("unknown frame kind 0x%02x", kind)
+}
+
+func frameCapError(n uint64) error {
+	return fmt.Errorf("frame length %d exceeds the %d-byte protocol cap", n, maxFrameBytes)
 }
 
 // frameErr maps an EOF in the middle of a frame to ErrUnexpectedEOF so the
@@ -332,7 +553,7 @@ func (e *Endpoint) Send(to int, payload any, bytes int) {
 	e.stats.MsgsSent++
 	e.stats.BytesSent += int64(len(buf))
 	e.mu.Unlock()
-	if !pr.sendq.push(message{kind: frameData, buf: buf, accounted: bytes}) {
+	if !pr.sendq.Push(message{kind: frameData, buf: buf, accounted: bytes}) {
 		putBuf(buf)
 		panic(fmt.Sprintf("tcpnet: send on poisoned fabric: %s", pr.why()))
 	}
@@ -346,19 +567,27 @@ func (e *Endpoint) Send(to int, payload any, bytes int) {
 func (e *Endpoint) Recv(from int) (payload any, bytes int) {
 	pr := e.peerFor("recv from", from)
 	t0 := time.Now()
-	m, ok := pr.recvq.pop()
+	m, ok := pr.recvq.Pop()
 	if !ok {
 		panic(fmt.Sprintf("tcpnet: recv on poisoned fabric: %s", pr.why()))
 	}
 	if m.kind != frameData {
 		panic(fmt.Sprintf("tcpnet: worker %d sent a barrier token where data was expected (schedule mismatch)", from))
 	}
-	v, err := comm.UnmarshalPayload(m.buf)
+	// m.buf is arena-owned storage the reader filled straight off the
+	// socket; decoding under the decode arena lets chunk payloads alias it
+	// in place instead of copying to pooled heap buffers. The slab stays
+	// readable through the quarantine window — until the rotation after
+	// next — which outlives every use the reduction schedule can make of
+	// the decoded value (same argument as simnet's sender-arena refs). No
+	// lock: Recv runs on one goroutine at a time (Overlap contract), and
+	// reading another goroutine's finished write to m.buf is ordered by
+	// the recvq handoff.
+	v, err := comm.UnmarshalPayloadArena(e.decodeArena, m.buf)
 	if err != nil {
 		panic(fmt.Sprintf("tcpnet: decode from worker %d failed: %v", from, err))
 	}
 	n := len(m.buf)
-	putBuf(m.buf)
 	elapsed := time.Since(t0).Seconds()
 	e.mu.Lock()
 	e.stats.Rounds++
@@ -383,7 +612,7 @@ func (e *Endpoint) SyncClock() {
 			continue
 		}
 		pr := e.peers[r]
-		if !pr.sendq.push(message{kind: frameSync}) {
+		if !pr.sendq.Push(message{kind: frameSync}) {
 			panic(fmt.Sprintf("tcpnet: barrier on poisoned fabric: %s", pr.why()))
 		}
 	}
@@ -392,7 +621,7 @@ func (e *Endpoint) SyncClock() {
 			continue
 		}
 		pr := e.peers[r]
-		m, ok := pr.recvq.pop()
+		m, ok := pr.recvq.Pop()
 		if !ok {
 			panic(fmt.Sprintf("tcpnet: barrier on poisoned fabric: %s", pr.why()))
 		}
@@ -400,6 +629,23 @@ func (e *Endpoint) SyncClock() {
 			panic(fmt.Sprintf("tcpnet: worker %d sent data where a barrier token was expected (schedule mismatch)", r))
 		}
 	}
+	// Every peer's token is in, and tokens are FIFO behind data frames, so
+	// every frame of the finished iteration has been received — and decoded,
+	// because an undecoded data frame in recvq would have panicked above as
+	// a schedule mismatch. Rotating here starts a fresh epoch in every
+	// receive arena; the one-epoch quarantine keeps this iteration's
+	// decoded payloads and any next-iteration frames that raced ahead of
+	// the barrier readable until the rotation after next, by which point
+	// the schedule has consumed them (the same lifetime argument simnet
+	// makes for sender-arena refs).
+	for r := 0; r < e.p; r++ {
+		if pr := e.peers[r]; pr != nil {
+			pr.arenaMu.Lock()
+			pr.arena.Reset()
+			pr.arenaMu.Unlock()
+		}
+	}
+	e.decodeArena.Reset()
 }
 
 // Overlap enqueues body on the worker's communication stream — a real
@@ -408,45 +654,11 @@ func (e *Endpoint) SyncClock() {
 // socket traffic and decoding. Overlap calls may not nest; between Overlap
 // and Join the main goroutine must not Send or Recv outside the stream.
 //
-// NOTE: the stream machinery here (Overlap/Join/stream/streamEndpoint and
-// the fifo below) deliberately mirrors internal/livenet's; the one
-// intentional divergence is the poison hook — livenet poisons its shared
-// in-process fabric, tcpnet calls abortConns (never Abort: the recover
-// handler runs ON the stream goroutine, and Abort waits for the stream).
-// Keep the two in sync, or extract a shared lane (see ROADMAP).
+// The stream itself is comm.StreamLane, shared with livenet; the only
+// backend-specific part is the poison hook wired up in newEndpoint
+// (abortConns — see the lane field for why it must never be Abort).
 func (e *Endpoint) Overlap(body func(comm.Endpoint)) {
-	if e.tasks == nil {
-		e.tasks = newFifo[func()]()
-		e.streamDone = make(chan struct{})
-		go e.stream()
-	}
-	e.pending.Add(1)
-	ok := e.tasks.push(func() {
-		defer e.pending.Done()
-		defer func() {
-			if r := recover(); r != nil {
-				e.mu.Lock()
-				if e.streamErr == nil {
-					e.streamErr = r
-				}
-				e.mu.Unlock()
-				// Unblock the main goroutine (and peers) before the panic
-				// resurfaces at Join: a dead stream must not leave anyone
-				// waiting on queues that will never be fed. This runs ON
-				// the stream goroutine, so it must not be Abort — waiting
-				// for the stream to drain from inside it would deadlock.
-				e.abortConns(fmt.Sprintf("worker %d (comm stream): %v", e.rank, r))
-			}
-		}()
-		t0 := time.Now()
-		body(streamEndpoint{e})
-		busy := time.Since(t0)
-		e.mu.Lock()
-		e.streamBusy += busy
-		e.mu.Unlock()
-	})
-	if !ok {
-		e.pending.Done()
+	if !e.lane.Launch(func() { body(streamEndpoint{e}) }) {
 		panic("tcpnet: Overlap after shutdown")
 	}
 }
@@ -474,37 +686,20 @@ func (s streamEndpoint) Overlap(func(comm.Endpoint)) {
 	panic("tcpnet: Overlap calls cannot nest")
 }
 
-// stream executes overlap bodies in launch order until shutdown.
-func (e *Endpoint) stream() {
-	defer close(e.streamDone)
-	for {
-		fn, ok := e.tasks.pop()
-		if !ok {
-			return
-		}
-		fn()
-	}
-}
-
 // Join blocks until the communication stream has drained, then books the
 // measured wait as exposed communication and the remainder of the stream's
 // busy time as OverlapSaved; a stream-body panic resurfaces here.
 func (e *Endpoint) Join() {
-	t0 := time.Now()
-	e.pending.Wait()
-	exposed := time.Since(t0)
+	exposed, busy, err := e.lane.Join()
 	e.mu.Lock()
-	err := e.streamErr
-	e.streamErr = nil
-	saved := e.streamBusy - exposed
-	if saved < 0 {
-		saved = 0
-	}
-	if e.streamBusy > 0 {
+	if busy > 0 {
+		saved := busy - exposed
+		if saved < 0 {
+			saved = 0
+		}
 		e.stats.ExposedComm += exposed.Seconds()
 		e.stats.OverlapSaved += saved.Seconds()
 	}
-	e.streamBusy = 0
 	e.mu.Unlock()
 	if err != nil {
 		panic(err)
@@ -520,7 +715,7 @@ func (e *Endpoint) Close() {
 	if e.closed.CompareAndSwap(false, true) {
 		for _, pr := range e.peers {
 			if pr != nil {
-				pr.sendq.close()
+				pr.sendq.Close()
 			}
 		}
 		// Writers drain and half-close; readers exit when each peer
@@ -537,7 +732,7 @@ func (e *Endpoint) Close() {
 		for _, pr := range e.peers {
 			if pr != nil {
 				pr.conn.Close()
-				pr.recvq.close()
+				pr.recvq.Close()
 			}
 		}
 		<-done
@@ -570,7 +765,7 @@ func (e *Endpoint) abortConns(cause string) {
 			continue
 		}
 		pr.fail(cause)
-		pr.sendq.close()
+		pr.sendq.Close()
 		if pr.conn != nil {
 			pr.conn.Close()
 		}
@@ -579,84 +774,5 @@ func (e *Endpoint) abortConns(cause string) {
 
 // shutdownStream stops the communication stream goroutine, if one started.
 func (e *Endpoint) shutdownStream() {
-	if e.tasks == nil {
-		return
-	}
-	e.tasks.close()
-	<-e.streamDone
-}
-
-// fifo is an unbounded FIFO with blocking pop, mirroring livenet's: eager
-// sends with no backpressure keep the three backends executing identical
-// schedules. A closed fifo still drains its remaining items.
-type fifo[T any] struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []T
-	head   int
-	closed bool
-}
-
-func newFifo[T any]() *fifo[T] {
-	q := &fifo[T]{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-// push reports false when the queue is closed instead of enqueuing.
-func (q *fifo[T]) push(x T) bool {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.closed {
-		return false
-	}
-	q.items = append(q.items, x)
-	q.cond.Signal()
-	return true
-}
-
-// pop blocks until an item is available or the queue is closed empty
-// (reported as ok = false).
-func (q *fifo[T]) pop() (x T, ok bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for q.head == len(q.items) && !q.closed {
-		q.cond.Wait()
-	}
-	return q.take()
-}
-
-// tryPop returns immediately: ok = false when no item is ready right now
-// (whether or not more are coming).
-func (q *fifo[T]) tryPop() (x T, ok bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.head == len(q.items) {
-		return x, false
-	}
-	return q.take()
-}
-
-// take pops under q.mu; the caller holds the lock and has ensured an item
-// exists or the queue is closed.
-func (q *fifo[T]) take() (x T, ok bool) {
-	if q.head == len(q.items) {
-		return x, false
-	}
-	x = q.items[q.head]
-	var zero T
-	q.items[q.head] = zero
-	q.head++
-	if q.head == len(q.items) {
-		q.items = q.items[:0]
-		q.head = 0
-	}
-	return x, true
-}
-
-func (q *fifo[T]) close() {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.closed = true
-	q.cond.Broadcast()
+	e.lane.Shutdown()
 }

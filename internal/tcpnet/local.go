@@ -1,0 +1,84 @@
+package tcpnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"spardl/internal/comm"
+)
+
+// LocalBackend returns a comm.Backend that runs P tcpnet workers as
+// goroutines of this one process, each with its own endpoint over real
+// loopback TCP sockets. The transport cannot tell goroutines from
+// processes — every byte still crosses the kernel through a genuine
+// socket pair — so this is the single-command way to measure the socket
+// data path (spardl-bench -tcp-baseline) or exercise it under the race
+// detector without forking worker processes. timeout bounds rendezvous,
+// mesh establishment and graceful close; zero means the package default.
+func LocalBackend(timeout time.Duration) comm.Backend { return localBackend{timeout} }
+
+type localBackend struct{ timeout time.Duration }
+
+// Name implements comm.Backend.
+func (localBackend) Name() string { return "tcpnet-local" }
+
+// Run implements comm.Backend: it reserves a loopback rendezvous address,
+// starts one endpoint per rank, runs the workers, and aggregates every
+// rank's stats into one cluster-wide Report. A worker panic aborts its
+// endpoint first — closing the sockets unblocks remote peers exactly as a
+// process crash would — and Run re-panics with the first failure once all
+// workers have unwound.
+func (b localBackend) Run(p int, worker func(rank int, ep comm.Endpoint)) *comm.Report {
+	addr, err := ReserveLoopbackAddr()
+	if err != nil {
+		panic(fmt.Sprintf("tcpnet: reserving rendezvous address: %v", err))
+	}
+	eps := make([]*Endpoint, p)
+	clocks := make([]float64, p)
+	var faultMu sync.Mutex
+	var fault any
+	var wg sync.WaitGroup
+	for rank := 0; rank < p; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					// Record the root cause before aborting: the abort
+					// provokes poisoned-fabric panics in blocked peers, and
+					// those must not mask the failure that started the
+					// cascade (first writer wins).
+					faultMu.Lock()
+					if fault == nil {
+						fault = fmt.Sprintf("worker %d: %v", rank, r)
+					}
+					faultMu.Unlock()
+					if ep := eps[rank]; ep != nil {
+						ep.Abort(fmt.Sprintf("worker %d: %v", rank, r))
+					}
+				}
+			}()
+			ep, err := Start(Config{Rendezvous: addr, P: p, Rank: rank, Timeout: b.timeout})
+			if err != nil {
+				panic(err)
+			}
+			eps[rank] = ep
+			defer ep.Close()
+			worker(rank, ep)
+			clocks[rank] = ep.Clock()
+		}(rank)
+	}
+	wg.Wait()
+	if fault != nil {
+		panic(fault)
+	}
+	rep := &comm.Report{PerWorker: make([]comm.Stats, p), Clocks: clocks}
+	for i, ep := range eps {
+		rep.PerWorker[i] = ep.Stats()
+		if clocks[i] > rep.Time {
+			rep.Time = clocks[i]
+		}
+	}
+	return rep
+}

@@ -26,6 +26,9 @@ func init() {
 			return out
 		},
 		Decode: func(body []byte) (any, error) { return Decode(body) },
+		DecodeArena: func(a *sparse.Arena, body []byte) (any, error) {
+			return DecodeArena(a, body)
+		},
 	})
 	comm.RegisterPayload(comm.PayloadCodec{
 		Tag:   comm.TagChunkSlice,
@@ -35,22 +38,10 @@ func init() {
 			return comm.AppendPayloadList(dst, len(cs), func(i int) any { return cs[i] })
 		},
 		Decode: func(body []byte) (any, error) {
-			items, rest, err := comm.ReadPayloadList(body)
-			if err != nil {
-				return nil, err
-			}
-			if len(rest) != 0 {
-				return nil, fmt.Errorf("wire: %d trailing bytes after chunk slice", len(rest))
-			}
-			cs := make([]*sparse.Chunk, len(items))
-			for i, v := range items {
-				c, ok := v.(*sparse.Chunk)
-				if !ok {
-					return nil, fmt.Errorf("wire: chunk slice holds %T", v)
-				}
-				cs[i] = c
-			}
-			return cs, nil
+			return decodeChunkSlice(nil, body)
+		},
+		DecodeArena: func(a *sparse.Arena, body []byte) (any, error) {
+			return decodeChunkSlice(a, body)
 		},
 	})
 	comm.RegisterPayload(comm.PayloadCodec{
@@ -69,13 +60,45 @@ func init() {
 			return out
 		},
 		Decode: func(body []byte) (any, error) {
-			c, err := Decode(body)
-			if err != nil {
-				return nil, err
-			}
-			lo, hi := Range(c)
-			n, _ := EncodedBytes(c, lo, hi)
-			return &sizedChunk{c: c, bytes: n}, nil
+			return decodeSizedChunk(nil, body)
+		},
+		DecodeArena: func(a *sparse.Arena, body []byte) (any, error) {
+			return decodeSizedChunk(a, body)
 		},
 	})
+}
+
+// decodeChunkSlice reverses the TagChunkSlice body: a payload list of
+// chunks, each decoded into the arena (heap on nil) with the pointer slice
+// drawn from the arena's pointer slabs.
+func decodeChunkSlice(a *sparse.Arena, body []byte) (any, error) {
+	items, rest, err := comm.ReadPayloadListArena(a, body)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after chunk slice", len(rest))
+	}
+	cs := a.Chunks(len(items)) // nil-safe: heap when a == nil
+	for _, v := range items {
+		c, ok := v.(*sparse.Chunk)
+		if !ok {
+			return nil, fmt.Errorf("wire: chunk slice holds %T", v)
+		}
+		cs = append(cs, c)
+	}
+	return cs, nil
+}
+
+// decodeSizedChunk reverses the TagSizedChunk body, recomputing the
+// memoized size (a pure function of the entry set, so forwarding hops keep
+// charging what the owner accounted).
+func decodeSizedChunk(a *sparse.Arena, body []byte) (any, error) {
+	c, err := DecodeArena(a, body)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := Range(c)
+	n, _ := EncodedBytes(c, lo, hi)
+	return &sizedChunk{c: c, bytes: n}, nil
 }

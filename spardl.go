@@ -252,6 +252,12 @@ func TCPStart(cfg TCPConfig) (*TCPEndpoint, error) { return tcpnet.Start(cfg) }
 // process (cmd/spardl-worker does exactly this).
 func TCPSelfBackend(ep *TCPEndpoint) Backend { return tcpnet.SelfBackend(ep) }
 
+// TCPLocalBackend runs P tcpnet workers as goroutines of this one process,
+// each with its own endpoint over real loopback TCP sockets — every byte
+// still crosses the kernel — so the socket data path is measurable with a
+// single command (spardl-bench -tcp-baseline) without forking processes.
+func TCPLocalBackend() Backend { return tcpnet.LocalBackend(0) }
+
 // ReserveTCPAddr picks a free loopback host:port for a rendezvous
 // listener — the parent-process half of the one-command local demo.
 func ReserveTCPAddr() (string, error) { return tcpnet.ReserveLoopbackAddr() }
