@@ -405,6 +405,62 @@ func runDensitySweep(w io.Writer, p, n int) {
 	fmt.Fprintln(w, "crossover; ns/op shows where dense-block merging beats sparse merging.")
 }
 
+// runChaosBench measures elastic recovery under a deterministic fault
+// schedule: the same elastic training session runs on livenet (goroutines,
+// in-memory channels) and on loopback tcpnet (goroutines, real sockets)
+// under the identical schedule, and the report breaks each survived
+// recovery into its two halves — re-rendezvous latency (fault observed →
+// new fabric established) and first-round latency (worker bodies re-enter
+// → first post-recovery iteration completes). The final check pins the
+// tentpole property: both substrates finish with bit-identical metrics.
+func runChaosBench(w io.Writer, spec string, p, iters int) error {
+	sched, err := spardl.ParseChaos(spec)
+	if err != nil {
+		return err
+	}
+	c := spardl.CaseByID(1)
+	fmt.Fprintf(w, "## chaos recovery: elastic training under %q (P=%d, case %d, %d iters)\n\n", spec, p, c.ID, iters)
+	backends := []struct {
+		name string
+		b    spardl.Backend
+	}{
+		{"livenet", spardl.LiveChaosBackend(sched)},
+		{"tcpnet", spardl.TCPLocalChaosBackend(sched)},
+	}
+	var finals []*spardl.TrainResult
+	for _, bk := range backends {
+		cfg := spardl.TrainConfig{
+			Case: c, KRatio: 0.01, Factory: spardl.NewFactory(spardl.Options{}),
+			Iters: iters, Seed: 1, EvalEvery: max(1, iters/4),
+			P: p, Backend: bk.b,
+			Elastic: &spardl.ElasticTrainConfig{MinP: 1, MaxRestarts: 3},
+		}
+		t0 := time.Now()
+		res, recs, err := spardl.TrainElastic(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", bk.name, err)
+		}
+		fmt.Fprintf(w, "%s: %d recoveries, wall %.2fs, final=%.4f\n",
+			bk.name, len(recs), time.Since(t0).Seconds(), res.FinalMetric)
+		for _, r := range recs {
+			fmt.Fprintf(w, "  gen %d: p=%d lost=%v resume-iter=%d  rejoin %.1fms + first-round %.1fms = recovery %.1fms\n",
+				r.Gen, r.P, r.Lost, r.ResumeIter,
+				r.RejoinSeconds*1e3, r.FirstRoundSeconds*1e3,
+				(r.RejoinSeconds+r.FirstRoundSeconds)*1e3)
+			fmt.Fprintf(w, "         cause: %s\n", r.Cause)
+		}
+		finals = append(finals, res)
+	}
+	lv, tcp := finals[0], finals[1]
+	if lv.FinalMetric == tcp.FinalMetric && lv.FinalLoss == tcp.FinalLoss {
+		fmt.Fprintln(w, "\npost-recovery trajectories agree bit-exactly across substrates.")
+	} else {
+		fmt.Fprintf(w, "\nWARNING: substrates disagree: livenet final=%v loss=%v, tcpnet final=%v loss=%v\n",
+			lv.FinalMetric, lv.FinalLoss, tcp.FinalMetric, tcp.FinalLoss)
+	}
+	return nil
+}
+
 // envBenchOut hands a forked tcp-demo worker its per-rank result path.
 const envBenchOut = "SPARDL_BENCH_OUT"
 
@@ -532,6 +588,9 @@ func main() {
 		live         = flag.Bool("live", false, "benchmark one SparDL synchronization on the livenet backend (real encode/decode, wall-clock ns/op) next to the simulated clock, then exit")
 		densitySweep = flag.Bool("density-sweep", false, "sweep gradient density k/n × dense policy (never/adaptive/always) over steady-state TopkDSA all-reduces at the -live-p/n sizes, printing ns/op and negotiated wire bytes, then exit")
 		backend      = flag.String("backend", "", "\"tcp\" forks one OS process per worker over loopback TCP and prints the measured cross-process synchronization next to the simulated clock (at the -live-p/n/k sizes), then exits")
+		chaosSpec    = flag.String("chaos", "", "run an elastic training session under this deterministic fault schedule on livenet AND loopback tcpnet, reporting per-recovery rejoin/first-round latency and cross-substrate agreement, then exit (e.g. \"crash:rank=1,iter=2\")")
+		chaosP       = flag.Int("chaos-p", 4, "worker count for -chaos")
+		chaosIters   = flag.Int("chaos-iters", 8, "training iterations for -chaos")
 		liveP        = flag.Int("live-p", 8, "worker count for -live / -backend tcp")
 		liveN        = flag.Int("live-n", 1<<18, "gradient length for -live / -backend tcp")
 		liveK        = flag.Int("live-k", 1<<18/100, "global sparse budget for -live / -backend tcp")
@@ -597,6 +656,13 @@ func main() {
 
 	if *tcpBase != "" {
 		if err := emitTCPBaseline(*tcpBase, *liveP, *liveN, *liveK); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *chaosSpec != "" {
+		if err := runChaosBench(os.Stdout, *chaosSpec, *chaosP, *chaosIters); err != nil {
 			log.Fatal(err)
 		}
 		return

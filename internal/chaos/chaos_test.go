@@ -1,0 +1,139 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseStringRoundTrip(t *testing.T) {
+	in := "seed=7;crash:rank=2,iter=3;drop:rank=0,peer=1,frame=4;delay:rank=1,peer=0,frame=0,dur=5ms;corrupt:rank=3,peer=2,frame=1;partition:rank=0,peer=3,frame=9"
+	s, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 7 || len(s.Faults) != 5 {
+		t.Fatalf("parsed %+v", s)
+	}
+	s2, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", s.String(), err)
+	}
+	if s2.String() != s.String() {
+		t.Fatalf("round trip drifted: %q vs %q", s.String(), s2.String())
+	}
+	if s.Faults[2].Dur != 5*time.Millisecond {
+		t.Fatalf("delay duration lost: %+v", s.Faults[2])
+	}
+}
+
+func TestParseEmptyAndErrors(t *testing.T) {
+	if s, err := Parse(""); err != nil || s != nil {
+		t.Fatalf("empty schedule: %v %v", s, err)
+	}
+	for _, bad := range []string{
+		"boom:rank=0",              // unknown kind
+		"drop:rank=0",              // link fault without peer
+		"crash:rank",               // not key=value
+		"delay:rank=0,peer=1,dur=", // bad duration
+		"seed=x",                   // bad seed
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestWorkerInjectorReplay(t *testing.T) {
+	s, err := Parse("drop:rank=0,peer=1,frame=2;corrupt:rank=0,peer=2,frame=0;delay:rank=0,peer=1,frame=1,dur=3ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Worker(5) != nil {
+		t.Fatal("rank with no faults must get a nil injector")
+	}
+	w := s.Worker(0)
+	if w == nil {
+		t.Fatal("rank 0 has faults but no injector")
+	}
+	if w.CrashIter() != -1 {
+		t.Fatalf("no crash scheduled, got iter %d", w.CrashIter())
+	}
+	// Link 0→1: frame 0 clean, frame 1 delayed, frame 2 dropped.
+	if a := w.Outbound(1); a.Drop || a.Corrupt || a.Delay != 0 {
+		t.Fatalf("frame 0: %+v", a)
+	}
+	if a := w.Outbound(1); a.Delay != 3*time.Millisecond || a.Drop {
+		t.Fatalf("frame 1: %+v", a)
+	}
+	a := w.Outbound(1)
+	if !a.Drop || a.Fault == nil || a.Fault.Kind != Drop {
+		t.Fatalf("frame 2: %+v", a)
+	}
+	// Link 0→2: frame 0 corrupted, independent ordinal space.
+	if a := w.Outbound(2); !a.Corrupt || a.Fault == nil {
+		t.Fatalf("link 0→2 frame 0: %+v", a)
+	}
+	// One-shot faults never re-fire.
+	if a := w.Outbound(2); a.Corrupt || a.Drop {
+		t.Fatalf("link 0→2 frame 1 re-fired: %+v", a)
+	}
+}
+
+func TestPartitionSeversFromFrame(t *testing.T) {
+	s, err := Parse("partition:rank=1,peer=0,frame=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.Worker(1)
+	for i := 0; i < 2; i++ {
+		if a := w.Outbound(0); a.Drop {
+			t.Fatalf("frame %d severed early", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if a := w.Outbound(0); !a.Drop || a.Fault.Kind != Partition {
+			t.Fatalf("frame %d not severed: %+v", i, a)
+		}
+	}
+	// Asymmetric: the reverse direction (and other ranks) stay healthy.
+	if w2 := s.Worker(0); w2 != nil {
+		t.Fatal("rank 0 must be healthy under an 1→0 partition")
+	}
+}
+
+func TestCrashItersAndClassification(t *testing.T) {
+	s, err := Parse("crash:rank=2,iter=5;crash:rank=2,iter=3;crash:rank=0,iter=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := s.CrashIters()
+	if ci[2] != 3 || ci[0] != 7 || len(ci) != 2 {
+		t.Fatalf("CrashIters: %v", ci)
+	}
+	if w := s.Worker(2); w.CrashIter() != 3 {
+		t.Fatalf("earliest crash wins: %d", w.CrashIter())
+	}
+	c := Crashed{ID: 2, Iter: 3}
+	if !IsCrashed(c) || !IsCrashed(c.Error()) || !IsCrashed("worker 2: "+c.Error()) {
+		t.Fatal("IsCrashed misses its own value")
+	}
+	if IsCrashed("tcpnet: recv on poisoned fabric: worker 2 disconnected") {
+		t.Fatal("cascade cause misclassified as scheduled crash")
+	}
+}
+
+func TestCorruptBytesDeterministic(t *testing.T) {
+	a := []byte{1, 2, 3, 4, 5}
+	b := []byte{1, 2, 3, 4, 5}
+	CorruptBytes(a)
+	CorruptBytes(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("corruption not deterministic: % x vs % x", a, b)
+		}
+	}
+	if a[0] == 1 && a[2] == 3 {
+		t.Fatalf("nothing flipped: % x", a)
+	}
+	CorruptBytes(nil) // must not panic
+}

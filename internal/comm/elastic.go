@@ -1,0 +1,76 @@
+package comm
+
+// Elastic membership: the contract a backend implements when it can
+// survive worker loss by re-forming the fabric with the survivors. A
+// normal Backend.Run is one fixed-membership execution; RunElastic is a
+// sequence of them — generations — where each fabric poisoning is
+// classified (scheduled crash vs. genuine bug), departed workers are
+// removed, and the surviving worker bodies re-enter with a shrunk
+// membership. The worker bodies themselves carry their state across
+// generations (the trainer snapshots model/optimizer/residual at
+// iteration boundaries); the backend only guarantees that the same
+// surviving set re-rendezvouses with the same rank mapping on every
+// substrate, which is what makes post-shrink trajectories comparable
+// bit-for-bit across backends.
+
+// Membership is one worker's coordinates within one fabric generation.
+type Membership struct {
+	// Gen counts fabric generations: 0 is the initial rendezvous, each
+	// elastic re-rendezvous increments it.
+	Gen int
+	// P is the generation's worker count.
+	P int
+	// Rank is this worker's rank within the generation, in [0, P).
+	// Survivors are re-ranked by ascending worker ID, so the lowest
+	// surviving ID becomes rank 0 (rank-0 failover).
+	Rank int
+	// ID is the worker's stable identity: its rank in generation 0. State
+	// carried across re-rendezvous is keyed by ID, not Rank.
+	ID int
+	// Lost holds the IDs of every worker departed since generation 0,
+	// ascending. len(Lost) + P equals the initial worker count.
+	Lost []int
+}
+
+// ElasticWorker is one worker's body for one generation. It runs the
+// workload from wherever its carried state says to resume; a poisoned
+// fabric surfaces as a panic out of the body exactly as under Backend.Run,
+// and the elastic runner decides whether a next generation follows.
+type ElasticWorker func(m Membership, ep Endpoint)
+
+// ElasticOptions bounds an elastic run.
+type ElasticOptions struct {
+	// MinP is the smallest membership worth continuing with; a shrink
+	// below it fails fast instead of re-forming. 0 means 1.
+	MinP int
+	// MaxRestarts bounds the number of re-rendezvous attempts (shrinking
+	// or same-size) before the run fails fast. 0 means 1.
+	MaxRestarts int
+}
+
+// Recovery records one survived membership change.
+type Recovery struct {
+	// Gen is the generation entered by this recovery (≥ 1).
+	Gen int
+	// P is the new generation's worker count.
+	P int
+	// Lost holds the worker IDs that departed entering this generation.
+	Lost []int
+	// Cause is the poison root cause that triggered the recovery.
+	Cause string
+	// RejoinSeconds is the wall-clock re-rendezvous latency: fault
+	// observed → new fabric established (the worker body has not yet run
+	// its first post-recovery round; the trainer adds that half).
+	RejoinSeconds float64
+}
+
+// ElasticBackend is implemented by backends that survive worker loss.
+type ElasticBackend interface {
+	Backend
+	// RunElastic executes worker across fabric generations, starting at p
+	// workers. It returns the final generation's report, the recoveries
+	// survived (empty for a healthy run), and an error when the run failed
+	// fast — the error names the root cause. Exactly one of report/err is
+	// meaningful.
+	RunElastic(p int, opts ElasticOptions, worker ElasticWorker) (*Report, []Recovery, error)
+}

@@ -150,6 +150,60 @@ func TestStreamLanePanicOrdering(t *testing.T) {
 	l.Shutdown()
 }
 
+// TestStreamLanePoisonFirstCauseWinsUnderCascade models the full backend
+// cascade around a stream-body panic, under the race detector: the hook
+// (tcpnet's abortConns / livenet's poisonWith) records the root cause and
+// closes the queues; that unblocks the worker's main goroutine, which
+// panics on the poisoned queue and calls its own Abort concurrently with
+// the stream goroutine still unwinding. The invariant pinned here is the
+// one the whole failure model rests on: because StreamLane invokes the
+// hook — which records — BEFORE the panic unblocks anyone, the first
+// recorded cause is always the stream body's root cause, never the
+// cascade's, on every interleaving.
+func TestStreamLanePoisonFirstCauseWinsUnderCascade(t *testing.T) {
+	const root = "root cause: worker 3 exploded"
+	for iter := 0; iter < 200; iter++ {
+		var mu sync.Mutex
+		var first string
+		record := func(cause string) { // first writer wins, like peer.fail
+			mu.Lock()
+			if first == "" {
+				first = cause
+			}
+			mu.Unlock()
+		}
+		q := NewFifo[int]()
+		l := NewStreamLane(func(r any) {
+			// The backend hook: record the root cause, then poison the
+			// queues (which unblocks the main goroutine below).
+			record(r.(string))
+			q.Close()
+		})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { // the worker's main goroutine, blocked mid-collective
+			defer wg.Done()
+			if _, ok := q.Pop(); !ok {
+				// Its recover path calls Abort with the cascade cause,
+				// racing the stream goroutine's own unwinding.
+				record("cascade: recv on poisoned fabric")
+			}
+		}()
+		l.Launch(func() { panic(root) })
+		if _, _, err := l.Join(); err != root {
+			t.Fatalf("iter %d: Join err = %v, want root cause", iter, err)
+		}
+		wg.Wait()
+		l.Shutdown()
+		mu.Lock()
+		got := first
+		mu.Unlock()
+		if got != root {
+			t.Fatalf("iter %d: first recorded cause %q; the cascade masked the root", iter, got)
+		}
+	}
+}
+
 // TestStreamLaneJoinWithoutLaunch pins the serial-schedule path: a Join
 // with no pending work returns zeros without ever starting the goroutine.
 func TestStreamLaneJoinWithoutLaunch(t *testing.T) {

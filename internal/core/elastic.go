@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+
+	"spardl/internal/sparsecoll"
+)
+
+// RestoreResidual implements sparsecoll.ResidualRestorer: an elastic
+// recovery rebuilds the reducer for the shrunk cluster (new
+// sparse.Partition, re-fitted teams) and reloads the residual snapshot the
+// survivor carried across the re-rendezvous. The residual is per-worker
+// state independent of P, so the copy is exact.
+func (s *SparDL) RestoreResidual(res []float32) {
+	if len(res) != len(s.residual) {
+		panic(fmt.Sprintf("core: restoring a %d-value residual into a %d-value reducer", len(res), len(s.residual)))
+	}
+	copy(s.residual, res)
+}
+
+// FitTeams returns the options re-fitted for a p-worker cluster after an
+// elastic membership change: the team count drops to the largest d ≤
+// min(Teams, p) that divides p — and stays a power of two under a forced
+// R-SAG — with everything else carried over. d = 1 is always reachable, so
+// the result always passes Validate(p) for p ≥ 1.
+func (o Options) FitTeams(p int) Options {
+	o = o.withDefaults()
+	d := o.Teams
+	if d > p {
+		d = p
+	}
+	for d > 1 && (p%d != 0 || (o.Variant == RSAG && d&(d-1) != 0)) {
+		d--
+	}
+	o.Teams = d
+	return o
+}
+
+// NewElasticFactory is NewFactory for elastic runs: every construction
+// re-fits the team count to the worker count it is invoked with, so one
+// factory value survives a mid-training shrink and rebuilds valid team
+// partitions for the survivors. The fitted options are Validate-checked
+// before use; a failure panics, which the elastic trainer surfaces as a
+// fail-fast configuration error rather than a retryable fault.
+func NewElasticFactory(opts Options) sparsecoll.Factory {
+	return func(p, rank, n, k int) sparsecoll.Reducer {
+		fitted := opts.FitTeams(p)
+		if err := fitted.Validate(p); err != nil {
+			panic(err)
+		}
+		r, err := New(p, rank, n, k, fitted)
+		if err != nil {
+			panic(err)
+		}
+		return r
+	}
+}

@@ -1,0 +1,107 @@
+package livenet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"spardl/internal/chaos"
+	"spardl/internal/comm"
+)
+
+var _ comm.ElasticBackend = backend{}
+
+// RunElastic implements comm.ElasticBackend: the backend's chaos schedule
+// (if any) replays across generations with per-worker injector state
+// carried over, so a one-shot fault never re-fires after recovery.
+func (b backend) RunElastic(p int, opts comm.ElasticOptions, worker comm.ElasticWorker) (*comm.Report, []comm.Recovery, error) {
+	return RunElastic(p, b.sched, opts, worker)
+}
+
+// RunElastic executes worker across fabric generations. Generation 0 runs
+// all p workers; when the fabric poisons, the recovered panics are
+// classified — scheduled chaos crashes become departures, everything else
+// (a severed link, a corrupted frame, a genuine bug) leaves the membership
+// intact — and the run re-forms with the survivors re-ranked by ascending
+// worker ID, up to opts.MaxRestarts times. A transient fault therefore
+// retries at full strength, a persistent one exhausts its restart budget
+// and fails fast with the root cause named, and a crash shrinks the fleet.
+//
+// Worker bodies carry their own state across generations (the elastic
+// trainer snapshots model/optimizer/residual at iteration boundaries,
+// keyed by Membership.ID); the runner only guarantees the membership
+// mapping is deterministic, which is what makes post-shrink trajectories
+// comparable bit-for-bit against tcpnet's process-level recovery.
+func RunElastic(p int, sched *chaos.Schedule, opts comm.ElasticOptions, worker comm.ElasticWorker) (*comm.Report, []comm.Recovery, error) {
+	minP := opts.MinP
+	if minP <= 0 {
+		minP = 1
+	}
+	maxRestarts := opts.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = 1
+	}
+	members := make([]int, p) // surviving worker IDs, ascending
+	injs := make(map[int]chaos.Injector, p)
+	for i := range members {
+		members[i] = i
+		if sched != nil {
+			injs[i] = sched.Worker(i)
+		}
+	}
+	var (
+		recoveries []comm.Recovery
+		lost       []int
+		restarts   int
+	)
+	for gen := 0; ; gen++ {
+		f := New(len(members))
+		f.ids = append([]int(nil), members...)
+		f.injs = make([]chaos.Injector, len(members))
+		for r, id := range members {
+			f.injs[r] = injs[id]
+		}
+		gen, p := gen, len(members)
+		rep, res := runFabric(f, func(rank int, ep comm.Endpoint) {
+			worker(comm.Membership{
+				Gen:  gen,
+				P:    p,
+				Rank: rank,
+				ID:   f.ids[rank],
+				Lost: append([]int(nil), lost...),
+			}, ep)
+		})
+		fault := f.Fault()
+		if fault == nil {
+			return rep, recoveries, nil
+		}
+		t0 := time.Now()
+		cause := fmt.Sprint(fault)
+		var departed []int
+		survivors := make([]int, 0, len(members))
+		for rank, id := range members {
+			if res[rank] != nil && chaos.IsCrashed(res[rank]) {
+				departed = append(departed, id)
+			} else {
+				survivors = append(survivors, id)
+			}
+		}
+		if len(survivors) < minP {
+			return nil, recoveries, fmt.Errorf("livenet: %d survivors is below MinP=%d; root cause: %s", len(survivors), minP, cause)
+		}
+		if restarts >= maxRestarts {
+			return nil, recoveries, fmt.Errorf("livenet: giving up after %d re-rendezvous; root cause: %s", restarts, cause)
+		}
+		restarts++
+		members = survivors
+		lost = append(lost, departed...)
+		sort.Ints(lost)
+		recoveries = append(recoveries, comm.Recovery{
+			Gen:           gen + 1,
+			P:             len(members),
+			Lost:          departed,
+			Cause:         cause,
+			RejoinSeconds: time.Since(t0).Seconds(),
+		})
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"spardl/internal/chaos"
 	"spardl/internal/comm"
 	"spardl/internal/sparse"
 )
@@ -53,6 +54,13 @@ type Fabric struct {
 	queues []*comm.Fifo[message] // from*p + to
 	start  time.Time
 	poison sync.Once
+
+	// ids maps rank → generation-0 worker ID and injs maps rank → fault
+	// injector; both are set before any Endpoint is handed out (nil ids
+	// means identity, nil injectors mean a healthy worker). Chaos schedules
+	// name workers by ID, so replays stay aligned after an elastic shrink.
+	ids  []int
+	injs []chaos.Injector
 
 	faultMu sync.Mutex
 	fault   any // root cause of the first poisoning, if any
@@ -74,13 +82,24 @@ func New(p int) *Fabric {
 // P returns the number of workers on the fabric.
 func (f *Fabric) P() int { return f.p }
 
+// idOf maps a rank to its stable generation-0 worker ID.
+func (f *Fabric) idOf(rank int) int {
+	if f.ids == nil {
+		return rank
+	}
+	return f.ids[rank]
+}
+
 // Endpoint returns worker rank's endpoint. Each rank must be used by a
 // single goroutine (plus the endpoint's own communication stream).
 func (f *Fabric) Endpoint(rank int) *Endpoint {
 	if rank < 0 || rank >= f.p {
 		panic(fmt.Sprintf("livenet: rank %d out of range [0,%d)", rank, f.p))
 	}
-	e := &Endpoint{fabric: f, rank: rank}
+	e := &Endpoint{fabric: f, rank: rank, id: f.idOf(rank)}
+	if f.injs != nil {
+		e.inj = f.injs[rank]
+	}
 	e.lane = comm.NewStreamLane(func(r any) {
 		f.poisonWith(fmt.Sprintf("worker %d (comm stream): %v", rank, r))
 	})
@@ -147,6 +166,9 @@ func putBuf(b []byte) { bufPool.Put(b) }
 type Endpoint struct {
 	fabric *Fabric
 	rank   int
+	id     int            // stable generation-0 worker ID
+	inj    chaos.Injector // nil = healthy worker
+	iters  int            // completed SyncClock barriers (crash ordinal)
 
 	mu    sync.Mutex // guards stats (main goroutine + stream goroutine)
 	stats comm.Stats
@@ -209,7 +231,35 @@ func (e *Endpoint) Send(to int, payload any, bytes int) {
 	e.stats.MsgsSent++
 	e.stats.BytesSent += int64(len(buf))
 	e.mu.Unlock()
+	if e.inj != nil {
+		e.chaosOutbound(to, buf)
+	}
 	e.fabric.push(e.rank, to, message{buf: buf, accounted: bytes})
+}
+
+// chaosOutbound consults the fault injector for one outbound frame on the
+// rank→to link — livenet's queue boundary, the analogue of tcpnet's conn
+// wrapper, consulted for every frame including barrier tokens so the
+// per-link ordinals match across backends. Delays sleep in place (benign);
+// corruption mutates the serialized bytes so the receiver's decode
+// genuinely fails; a drop or partition severs the link by poisoning the
+// fabric with the scheduled fault as the named root cause. Corrupting a
+// zero-length barrier token is treated as link death too, mirroring what a
+// flipped frame header does to a TCP stream.
+func (e *Endpoint) chaosOutbound(to int, buf []byte) {
+	act := e.inj.Outbound(e.fabric.idOf(to))
+	if act.Delay > 0 {
+		time.Sleep(act.Delay)
+	}
+	if act.Corrupt && len(buf) > 0 {
+		chaos.CorruptBytes(buf)
+	}
+	if act.Drop || (act.Corrupt && len(buf) == 0) {
+		cause := fmt.Sprintf("worker %d: chaos: link to worker %d severed by schedule (%s)",
+			e.id, e.fabric.idOf(to), act.Fault)
+		e.fabric.poisonWith(cause)
+		panic(cause)
+	}
 }
 
 // Recv blocks until a message from worker `from` arrives, decodes it, and
@@ -308,13 +358,28 @@ func (e *Endpoint) shutdown() {
 // SyncClock barriers all workers: each sends an empty token to every peer
 // and waits for every peer's token, without touching statistics — the
 // live analogue of simnet's cost-free clock alignment between iterations.
+//
+// The barrier is also where scheduled crashes fire: a worker whose injector
+// names this iteration dies before sending any token, so no peer ever
+// passes this barrier — which is what makes the resume point of an elastic
+// recovery uniform across survivors (each one's own passed-barrier count is
+// provably the last globally completed iteration).
 func (e *Endpoint) SyncClock() {
+	if e.inj != nil {
+		if ci := e.inj.CrashIter(); ci >= 0 && e.iters == ci {
+			panic(chaos.Crashed{ID: e.id, Iter: e.iters})
+		}
+	}
 	p := e.fabric.p
 	if p == 1 {
+		e.iters++
 		return
 	}
 	for to := 0; to < p; to++ {
 		if to != e.rank {
+			if e.inj != nil {
+				e.chaosOutbound(to, nil)
+			}
 			e.fabric.push(e.rank, to, message{})
 		}
 	}
@@ -323,4 +388,5 @@ func (e *Endpoint) SyncClock() {
 			e.fabric.pop(from, e.rank)
 		}
 	}
+	e.iters++
 }

@@ -4,22 +4,32 @@ import (
 	"fmt"
 	"sync"
 
+	"spardl/internal/chaos"
 	"spardl/internal/comm"
 )
 
-// Backend adapts livenet to the backend-neutral comm.Backend contract.
-type backend struct{}
+// Backend adapts livenet to the backend-neutral comm.Backend contract. A
+// backend may carry a chaos schedule; every Run replays it from frame zero
+// on a fresh fabric.
+type backend struct {
+	sched *chaos.Schedule
+}
 
 // NewBackend returns the livenet backend. It is stateless: every Run
 // builds a fresh fabric.
 func NewBackend() comm.Backend { return backend{} }
 
+// NewChaosBackend returns a livenet backend that replays sched on every
+// run. A nil schedule is a healthy cluster. The returned backend also
+// implements comm.ElasticBackend.
+func NewChaosBackend(sched *chaos.Schedule) comm.Backend { return backend{sched: sched} }
+
 // Name implements comm.Backend.
 func (backend) Name() string { return "livenet" }
 
 // Run implements comm.Backend.
-func (backend) Run(p int, worker func(rank int, ep comm.Endpoint)) *comm.Report {
-	return Run(p, worker)
+func (b backend) Run(p int, worker func(rank int, ep comm.Endpoint)) *comm.Report {
+	return RunWithSchedule(p, b.sched, worker)
 }
 
 // Run executes worker(rank, endpoint) on p goroutines over a fresh fabric
@@ -28,11 +38,40 @@ func (backend) Run(p int, worker func(rank int, ep comm.Endpoint)) *comm.Report 
 // Report.Time and Report.Clocks are wall-clock seconds from fabric
 // creation to each worker's return.
 func Run(p int, worker func(rank int, ep comm.Endpoint)) *comm.Report {
+	return RunWithSchedule(p, nil, worker)
+}
+
+// RunWithSchedule is Run with a chaos schedule replayed at the queue
+// boundary: link faults fire on the scheduled frame ordinals, crashes at
+// the scheduled SyncClock barriers. A poisoned fabric still panics with
+// the first recorded cause — for a scheduled fault, that cause names the
+// schedule entry.
+func RunWithSchedule(p int, sched *chaos.Schedule, worker func(rank int, ep comm.Endpoint)) *comm.Report {
 	f := New(p)
+	if sched != nil {
+		f.injs = make([]chaos.Injector, p)
+		for i := range f.injs {
+			f.injs[i] = sched.Worker(i)
+		}
+	}
+	rep, _ := runFabric(f, worker)
+	if fault := f.Fault(); fault != nil {
+		panic(fault)
+	}
+	return rep
+}
+
+// runFabric executes one fixed-membership generation over f and returns
+// the report plus each rank's recovered panic value (nil entries for clean
+// returns). It never re-panics: callers decide whether a fault is fatal
+// (Run) or the start of a recovery (RunElastic).
+func runFabric(f *Fabric, worker func(rank int, ep comm.Endpoint)) (*comm.Report, []any) {
+	p := f.p
 	eps := make([]*Endpoint, p)
 	for i := range eps {
 		eps[i] = f.Endpoint(i)
 	}
+	res := make([]any, p)
 	clocks := make([]float64, p)
 	var wg sync.WaitGroup
 	for i, ep := range eps {
@@ -45,7 +84,8 @@ func Run(p int, worker func(rank int, ep comm.Endpoint)) *comm.Report {
 					// an already-poisoned queue never masks the panic that
 					// started the cascade (including stream-body panics,
 					// which record their cause before poisoning).
-					f.poisonWith(fmt.Sprintf("worker %d: %v", rank, r))
+					res[rank] = r
+					f.poisonWith(fmt.Sprintf("worker %d: %v", ep.id, r))
 				}
 			}()
 			worker(rank, ep)
@@ -58,9 +98,6 @@ func Run(p int, worker func(rank int, ep comm.Endpoint)) *comm.Report {
 	for _, ep := range eps {
 		ep.shutdown()
 	}
-	if fault := f.Fault(); fault != nil {
-		panic(fault)
-	}
 	rep := &comm.Report{PerWorker: make([]comm.Stats, p), Clocks: clocks}
 	for i, ep := range eps {
 		rep.PerWorker[i] = ep.Stats()
@@ -68,5 +105,5 @@ func Run(p int, worker func(rank int, ep comm.Endpoint)) *comm.Report {
 			rep.Time = clocks[i]
 		}
 	}
-	return rep
+	return rep, res
 }

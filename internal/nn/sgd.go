@@ -32,6 +32,32 @@ func ZeroGrads(params []*Tensor) {
 	}
 }
 
+// FlattenParams concatenates every parameter's values into out, which must
+// have length ParamCount(params) — the boundary snapshot an elastic trainer
+// carries across a re-rendezvous.
+func FlattenParams(params []*Tensor, out []float32) {
+	off := 0
+	for _, p := range params {
+		copy(out[off:off+p.Len()], p.Data)
+		off += p.Len()
+	}
+	if off != len(out) {
+		panic(fmt.Sprintf("nn: FlattenParams wrote %d of %d values", off, len(out)))
+	}
+}
+
+// LoadParams writes a FlattenParams snapshot back into the parameters.
+func LoadParams(params []*Tensor, flat []float32) {
+	off := 0
+	for _, p := range params {
+		copy(p.Data, flat[off:off+p.Len()])
+		off += p.Len()
+	}
+	if off != len(flat) {
+		panic(fmt.Sprintf("nn: LoadParams read %d of %d values", off, len(flat)))
+	}
+}
+
 // SGD is stochastic gradient descent with optional momentum. When every
 // worker applies the identical synchronized update vector, replicas stay
 // bit-identical — the trainer relies on this.
@@ -44,6 +70,29 @@ type SGD struct {
 // NewSGD builds the optimizer.
 func NewSGD(lr, momentum float32) *SGD {
 	return &SGD{LR: lr, Momentum: momentum}
+}
+
+// Velocity returns the live momentum buffer — nil before the first
+// momentum step (and always for momentum-free SGD). Callers must treat it
+// as read-only; elastic snapshots copy it.
+func (s *SGD) Velocity() []float32 { return s.velocity }
+
+// RestoreVelocity overwrites the momentum buffer with a snapshot taken
+// from Velocity; nil resets to the fresh-start state. The restore is a
+// plain copy — momentum is per-worker state independent of cluster size,
+// so the same snapshot is valid across an elastic membership change.
+func (s *SGD) RestoreVelocity(v []float32) {
+	if v == nil {
+		s.velocity = nil
+		return
+	}
+	if s.velocity == nil {
+		s.velocity = make([]float32, len(v))
+	}
+	if len(v) != len(s.velocity) {
+		panic(fmt.Sprintf("nn: restoring %d velocity values over %d", len(v), len(s.velocity)))
+	}
+	copy(s.velocity, v)
 }
 
 // Step applies the (synchronized, flattened) gradient vector to the

@@ -1,5 +1,7 @@
 package sparsecoll
 
+import "fmt"
+
 // ResidualCarrier is implemented by reducers that maintain a residual
 // accumulator. The returned slice is the live internal state; callers must
 // treat it as read-only. Tests use it to verify conservation laws, and the
@@ -8,14 +10,69 @@ type ResidualCarrier interface {
 	Residual() []float32
 }
 
+// ResidualRestorer is the elastic-recovery extension of ResidualCarrier: a
+// reducer that can be rebuilt for a shrunk cluster and reloaded with the
+// residual snapshot its predecessor carried. Restoring is a plain copy —
+// the residual is per-worker state with no dependence on P, so the same
+// snapshot is valid before and after a membership change.
+type ResidualRestorer interface {
+	ResidualCarrier
+	// RestoreResidual overwrites the internal residual with a snapshot
+	// taken from a same-length reducer. It panics on a length mismatch (a
+	// configuration bug: the gradient size never changes across a shrink).
+	RestoreResidual(res []float32)
+}
+
+// restore is the shared length-checked copy behind every RestoreResidual.
+func restore(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("sparsecoll: restoring a %d-value residual into a %d-value reducer", len(src), len(dst)))
+	}
+	copy(dst, src)
+}
+
 // Residual implements ResidualCarrier.
 func (t *TopkA) Residual() []float32 { return t.residual }
+
+// RestoreResidual implements ResidualRestorer.
+func (t *TopkA) RestoreResidual(res []float32) { restore(t.residual, res) }
 
 // Residual implements ResidualCarrier.
 func (t *TopkDSA) Residual() []float32 { return t.residual }
 
+// RestoreResidual implements ResidualRestorer.
+func (t *TopkDSA) RestoreResidual(res []float32) { restore(t.residual, res) }
+
 // Residual implements ResidualCarrier.
 func (g *GTopk) Residual() []float32 { return g.residual }
 
+// RestoreResidual implements ResidualRestorer.
+func (g *GTopk) RestoreResidual(res []float32) { restore(g.residual, res) }
+
 // Residual implements ResidualCarrier.
 func (o *OkTopk) Residual() []float32 { return o.residual }
+
+// RestoreResidual implements ResidualRestorer.
+func (o *OkTopk) RestoreResidual(res []float32) { restore(o.residual, res) }
+
+// Residual forwards to the inner reducer so bucketed pipelines stay
+// elastic-recoverable per segment; it returns nil when the inner method
+// carries no residual (e.g. dense all-reduce).
+func (s *SegmentReducer) Residual() []float32 {
+	if c, ok := s.inner.(ResidualCarrier); ok {
+		return c.Residual()
+	}
+	return nil
+}
+
+// RestoreResidual forwards to the inner reducer; restoring into a
+// residual-free method is a no-op only for a nil/empty snapshot.
+func (s *SegmentReducer) RestoreResidual(res []float32) {
+	if r, ok := s.inner.(ResidualRestorer); ok {
+		r.RestoreResidual(res)
+		return
+	}
+	if len(res) != 0 {
+		panic(fmt.Sprintf("sparsecoll: %s carries no residual to restore", s.inner.Name()))
+	}
+}

@@ -1,0 +1,57 @@
+package sparsecoll
+
+import "testing"
+
+// TestRestoreResidualAllMethods pins the elastic-recovery contract: every
+// residual-carrying baseline can be rebuilt and reloaded with a snapshot,
+// and a length mismatch panics instead of silently truncating.
+func TestRestoreResidualAllMethods(t *testing.T) {
+	const n, k = 24, 4
+	factories := map[string]Factory{
+		"topkA":   NewTopkA,
+		"topkDSA": NewTopkDSA,
+		"gtopk":   NewGTopk,
+		"oktopk":  NewOkTopk,
+	}
+	snap := make([]float32, n)
+	for i := range snap {
+		snap[i] = float32(i+1) * 0.25
+	}
+	for name, f := range factories {
+		r, ok := f(4, 1, n, k).(ResidualRestorer)
+		if !ok {
+			t.Fatalf("%s does not implement ResidualRestorer", name)
+		}
+		r.RestoreResidual(snap)
+		got := r.Residual()
+		for i := range snap {
+			if got[i] != snap[i] {
+				t.Fatalf("%s: residual[%d] = %v, want %v", name, i, got[i], snap[i])
+			}
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: mismatched restore must panic", name)
+				}
+			}()
+			r.RestoreResidual(make([]float32, n+1))
+		}()
+	}
+}
+
+// TestSegmentForwardsResidualRestore pins that bucketed pipelines stay
+// recoverable per segment.
+func TestSegmentForwardsResidualRestore(t *testing.T) {
+	s := NewSegment(NewTopkA, 4, 0, 8, 24, 4)
+	var _ ResidualRestorer = s
+	snap := make([]float32, 16)
+	for i := range snap {
+		snap[i] = float32(i)
+	}
+	s.RestoreResidual(snap)
+	got := s.Residual()
+	if len(got) != 16 || got[5] != 5 {
+		t.Fatalf("segment restore lost state: %v", got)
+	}
+}

@@ -1,0 +1,170 @@
+package tcpnet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"spardl/internal/chaos"
+	"spardl/internal/comm"
+)
+
+var _ comm.ElasticBackend = localBackend{}
+
+// RunElastic implements comm.ElasticBackend over real loopback TCP: each
+// generation is a full Start — fresh rendezvous, fresh mesh, fresh sockets
+// — for the surviving membership, mirroring livenet's driver exactly so
+// the two substrates walk identical recovery trajectories. Worker state
+// (the trainer's snapshots, and the chaos injectors with their per-link
+// frame counters) is keyed by stable generation-0 ID and carried across
+// generations; a one-shot fault that already fired never re-fires.
+//
+// Classification matches livenet: a scheduled crash (chaos.Crashed) shrinks
+// the membership, any other poison retries at full strength, MinP and
+// MaxRestarts bound both. The root cause reported on fail-fast prefers the
+// first scheduled link fault an endpoint recorded over the cascade panics
+// the dead socket provoked, so the error names the injected fault.
+func (b localBackend) RunElastic(p int, opts comm.ElasticOptions, worker comm.ElasticWorker) (*comm.Report, []comm.Recovery, error) {
+	minP := opts.MinP
+	if minP <= 0 {
+		minP = 1
+	}
+	maxRestarts := opts.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = 1
+	}
+	members := make([]int, p)
+	injs := make(map[int]chaos.Injector, p)
+	for i := range members {
+		members[i] = i
+		injs[i] = b.sched.Worker(i)
+	}
+	var (
+		recoveries []comm.Recovery
+		lost       []int
+		restarts   int
+	)
+	for gen := 0; ; gen++ {
+		rep, res, cause := b.runGeneration(gen, members, lost, injs, worker)
+		if cause == "" {
+			return rep, recoveries, nil
+		}
+		t0 := time.Now()
+		var departed, survivors []int
+		for rank, id := range members {
+			if res[rank] != nil && chaos.IsCrashed(res[rank]) {
+				departed = append(departed, id)
+			} else {
+				survivors = append(survivors, id)
+			}
+		}
+		if len(survivors) < minP {
+			return nil, recoveries, fmt.Errorf("tcpnet: %d survivors is below MinP=%d; root cause: %s", len(survivors), minP, cause)
+		}
+		if restarts >= maxRestarts {
+			return nil, recoveries, fmt.Errorf("tcpnet: giving up after %d re-rendezvous; root cause: %s", restarts, cause)
+		}
+		restarts++
+		members = survivors
+		lost = append(lost, departed...)
+		sort.Ints(lost)
+		recoveries = append(recoveries, comm.Recovery{
+			Gen:           gen + 1,
+			P:             len(members),
+			Lost:          departed,
+			Cause:         cause,
+			RejoinSeconds: time.Since(t0).Seconds(),
+		})
+	}
+}
+
+// runGeneration runs one membership on a fresh loopback fabric. It returns
+// the aggregated report when every worker completed, or the per-rank
+// recovered panic values and the deterministic root cause when the
+// generation poisoned. Survivors' ranks are their index in members —
+// ascending stable ID, so the lowest surviving ID is always the new rank 0.
+func (b localBackend) runGeneration(gen int, members, lost []int, injs map[int]chaos.Injector, worker comm.ElasticWorker) (*comm.Report, []any, string) {
+	p := len(members)
+	addr, err := ReserveLoopbackAddr()
+	if err != nil {
+		panic(fmt.Sprintf("tcpnet: reserving rendezvous address: %v", err))
+	}
+	eps := make([]*Endpoint, p)
+	res := make([]any, p)
+	clocks := make([]float64, p)
+	var wg sync.WaitGroup
+	for rank := 0; rank < p; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			// One deferred handler ordering recover → Abort → Close: the
+			// abort must run before the graceful close, or Close's drain
+			// would stall its full timeout against a poisoned mesh.
+			defer func() {
+				r := recover()
+				if r != nil {
+					res[rank] = r
+				}
+				if ep := eps[rank]; ep != nil {
+					if r != nil {
+						ep.Abort(fmt.Sprintf("worker %d: %v", members[rank], r))
+					}
+					ep.Close()
+				}
+			}()
+			ep, err := Start(Config{
+				Rendezvous: addr, P: p, Rank: rank, Timeout: b.timeout,
+				Gen: gen, IDs: members, Injector: injs[members[rank]],
+			})
+			if err != nil {
+				panic(err)
+			}
+			eps[rank] = ep
+			worker(comm.Membership{Gen: gen, P: p, Rank: rank, ID: members[rank], Lost: append([]int(nil), lost...)}, ep)
+			clocks[rank] = ep.Clock()
+		}(rank)
+	}
+	wg.Wait()
+
+	// Root cause, deterministically: schedule entries beat the cascade
+	// panics they provoke — a scheduled crash first, then a scheduled link
+	// fault, then (for genuine bugs) the first panic in rank order.
+	// Severed-socket cascades race; schedule entries do not.
+	cause := ""
+	for rank, r := range res {
+		if r != nil && chaos.IsCrashed(r) {
+			cause = fmt.Sprintf("worker %d: %v", members[rank], r)
+			break
+		}
+	}
+	if cause == "" {
+		for rank, ep := range eps {
+			if ep != nil {
+				if c := ep.ChaosCause(); c != "" {
+					cause = fmt.Sprintf("worker %d: %s", members[rank], c)
+					break
+				}
+			}
+		}
+	}
+	if cause == "" {
+		for rank, r := range res {
+			if r != nil {
+				cause = fmt.Sprintf("worker %d: %v", members[rank], r)
+				break
+			}
+		}
+	}
+	if cause != "" {
+		return nil, res, cause
+	}
+	rep := &comm.Report{PerWorker: make([]comm.Stats, p), Clocks: clocks}
+	for i, ep := range eps {
+		rep.PerWorker[i] = ep.Stats()
+		if clocks[i] > rep.Time {
+			rep.Time = clocks[i]
+		}
+	}
+	return rep, res, ""
+}

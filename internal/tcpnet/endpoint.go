@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spardl/internal/chaos"
 	"spardl/internal/comm"
 	"spardl/internal/sparse"
 )
@@ -40,11 +41,20 @@ var bufPool sparse.SlicePool[byte]
 func getBuf(n int) []byte { return bufPool.Get(n) }
 func putBuf(b []byte)     { bufPool.Put(b) }
 
+// meshConn is the connection surface the per-peer socket goroutines need:
+// a byte stream with independent write-side shutdown. *net.TCPConn
+// implements it directly (keeping the writev fast path); chaosConn wraps
+// one to inject scheduled faults into the outbound frame stream.
+type meshConn interface {
+	net.Conn
+	CloseWrite() error
+}
+
 // peer is one remote worker: the pair connection plus the inbound and
 // outbound FIFO queues and their goroutines' failure cause.
 type peer struct {
 	rank  int
-	conn  *net.TCPConn
+	conn  meshConn
 	recvq *comm.Fifo[message]
 	sendq *comm.Fifo[message]
 
@@ -113,6 +123,24 @@ type Endpoint struct {
 	// for the stream to drain — from inside it, that would deadlock.
 	lane *comm.StreamLane
 
+	// Elastic/chaos identity: id is this worker's stable generation-0 rank,
+	// ids maps every current rank to its stable ID (nil = identity, correct
+	// for generation 0), and iters counts SyncClock barriers passed on this
+	// fabric — the ordinal scheduled crashes key on. inj, when non-nil,
+	// injects this worker's scheduled faults into its outbound streams
+	// (register wraps each mesh connection in a chaosConn); onCrash, when
+	// non-nil, overrides what a scheduled crash does after the outbound
+	// drain (forked workers exit; goroutine workers panic with
+	// chaos.Crashed).
+	id      int
+	ids     []int
+	inj     chaos.Injector
+	iters   int
+	onCrash func(iter int)
+
+	chaosMu    sync.Mutex
+	chaosCause string // first scheduled link fault fired on this endpoint
+
 	// decodeArena owns everything Recv decodes from inbound payload bytes
 	// (chunk headers, pointer slices, wrapper structs); the decoded values
 	// alias the per-peer arena slabs they were parsed from, and both arena
@@ -127,7 +155,7 @@ type Endpoint struct {
 var _ comm.Endpoint = (*Endpoint)(nil)
 
 func newEndpoint(p, rank int, timeout time.Duration) *Endpoint {
-	e := &Endpoint{p: p, rank: rank, timeout: timeout, start: time.Now(),
+	e := &Endpoint{p: p, rank: rank, id: rank, timeout: timeout, start: time.Now(),
 		peers: make([]*peer, p), decodeArena: sparse.NewArena()}
 	for r := 0; r < p; r++ {
 		if r != rank {
@@ -160,8 +188,80 @@ func (e *Endpoint) register(rank int, conn net.Conn) error {
 	}
 	tc := conn.(*net.TCPConn)
 	tc.SetNoDelay(true)
-	pr.conn = tc
+	var mc meshConn = tc
+	if e.inj != nil {
+		mc = &chaosConn{meshConn: tc, inj: e.inj, peerID: e.idOf(rank), note: e.noteChaos}
+	}
+	pr.conn = mc
 	return nil
+}
+
+// configure applies the elastic/chaos half of a Config to the endpoint.
+// Must run before mesh establishment: register consults the injector when
+// wrapping connections.
+func (e *Endpoint) configure(cfg Config, rank int) {
+	e.ids = cfg.IDs
+	e.id = e.idOf(rank)
+	e.inj = cfg.Injector
+	e.onCrash = cfg.OnCrash
+}
+
+// idOf maps a current rank to its stable generation-0 ID.
+func (e *Endpoint) idOf(rank int) int {
+	if e.ids == nil {
+		return rank
+	}
+	return e.ids[rank]
+}
+
+// ID returns this worker's stable identity — its generation-0 rank, which
+// elastic re-rendezvous preserves across membership changes.
+func (e *Endpoint) ID() int { return e.id }
+
+// noteChaos records the first scheduled link fault this endpoint's chaos
+// wrappers fired. The panics a severed link provokes are cascade symptoms
+// with racy messages; this is the named root cause an elastic driver
+// prefers when classifying the generation's failure.
+func (e *Endpoint) noteChaos(cause string) {
+	e.chaosMu.Lock()
+	if e.chaosCause == "" {
+		e.chaosCause = cause
+	}
+	e.chaosMu.Unlock()
+}
+
+// ChaosCause returns the first scheduled link fault fired on this
+// endpoint's connections, or "" when none fired.
+func (e *Endpoint) ChaosCause() string {
+	e.chaosMu.Lock()
+	defer e.chaosMu.Unlock()
+	return e.chaosCause
+}
+
+// crash executes a scheduled chaos crash at the current barrier. The
+// outbound queues close and the writers drain first — every frame of
+// completed iterations is flushed and the streams half-closed, so peers
+// see EOF only after all the crasher's data, exactly what a killed
+// process's kernel buffers deliver — and no barrier token for the crash
+// iteration is ever sent, which pins every survivor's resume point at this
+// iteration on every substrate. Then the worker dies: forked processes via
+// onCrash (exit), goroutine workers by panicking with chaos.Crashed.
+func (e *Endpoint) crash() {
+	for _, pr := range e.peers {
+		if pr != nil {
+			pr.sendq.Close()
+		}
+	}
+	done := make(chan struct{})
+	go func() { e.writers.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(e.timeout):
+	}
+	if e.onCrash != nil {
+		e.onCrash(e.iters)
+	}
+	panic(chaos.Crashed{ID: e.id, Iter: e.iters})
 }
 
 // run starts the per-peer socket goroutines; the clock starts here, once
@@ -283,7 +383,7 @@ const (
 // path's zero-copy half: payload bytes move pooled-buffer→kernel with no
 // bufio memcpy between.
 type frameWriter struct {
-	conn   *net.TCPConn
+	conn   io.Writer   // *net.TCPConn (writev) or a chaosConn wrapper
 	batch  net.Buffers // scatter list for WriteTo; rebuilt every batch
 	owned  [][]byte    // pooled payload buffers, released after the write
 	hdrs   []byte      // header bytes of queued frames (batch subslices it)
@@ -291,7 +391,7 @@ type frameWriter struct {
 	bytes  int
 }
 
-func newFrameWriter(conn *net.TCPConn) *frameWriter {
+func newFrameWriter(conn io.Writer) *frameWriter {
 	return &frameWriter{
 		conn:  conn,
 		batch: make(net.Buffers, 0, 2*writerBatchFrames),
@@ -607,6 +707,11 @@ func (e *Endpoint) SendRecv(peer int, payload any, bytes int) (got any, gotBytes
 // and waits for every peer's token, without touching statistics — the
 // distributed analogue of simnet's cost-free clock alignment.
 func (e *Endpoint) SyncClock() {
+	if e.inj != nil {
+		if ci := e.inj.CrashIter(); ci >= 0 && e.iters == ci {
+			e.crash()
+		}
+	}
 	for r := 0; r < e.p; r++ {
 		if r == e.rank {
 			continue
@@ -646,6 +751,7 @@ func (e *Endpoint) SyncClock() {
 		}
 	}
 	e.decodeArena.Reset()
+	e.iters++
 }
 
 // Overlap enqueues body on the worker's communication stream — a real

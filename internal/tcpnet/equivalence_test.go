@@ -40,6 +40,8 @@ func TestMain(m *testing.M) {
 		childReduce()
 	case "fault":
 		childFault()
+	case "elastic":
+		childElastic()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown child mode %q\n", os.Getenv(envChildMode))
 		os.Exit(64)
@@ -190,7 +192,7 @@ func childReduce() {
 
 // spawnWorkers forks one child per rank (re-executing this test binary in
 // the given mode) and returns the commands plus each rank's output path.
-func spawnWorkers(t *testing.T, mode string, p int) ([]*exec.Cmd, []string) {
+func spawnWorkers(t *testing.T, mode string, p int, extraEnv ...string) ([]*exec.Cmd, []string) {
 	t.Helper()
 	addr, err := ReserveLoopbackAddr()
 	if err != nil {
@@ -203,6 +205,7 @@ func spawnWorkers(t *testing.T, mode string, p int) ([]*exec.Cmd, []string) {
 		outs[rank] = filepath.Join(dir, fmt.Sprintf("rank%d.bin", rank))
 		cmd := exec.Command(os.Args[0])
 		cmd.Env = append(os.Environ(), envChildMode+"="+mode, envChildOut+"="+outs[rank])
+		cmd.Env = append(cmd.Env, extraEnv...)
 		cmd.Env = append(cmd.Env, ChildEnv(addr, p, rank)...)
 		var stderr strings.Builder
 		cmd.Stderr = &stderr
@@ -379,6 +382,164 @@ func TestFaultPoisonsSurvivors(t *testing.T) {
 	if !sawRootCause {
 		t.Fatalf("no survivor named the crashed worker:\n0: %s\n2: %s", cmds[0].Stderr, cmds[2].Stderr)
 	}
+}
+
+// Parameters of the forked elastic workload: per-iteration pacing slow
+// enough that the parent's SIGKILL reliably lands mid-iteration, and few
+// enough iterations to keep the test quick.
+const (
+	elIters = 6
+	elPace  = 300 * time.Millisecond
+)
+
+// childElastic runs the elastic counter workload through NewProcBackend:
+// every iteration all-exchanges the constant 1 and accumulates the total,
+// writing a progress line per iteration so the parent can time its SIGKILL,
+// and a final done-line the parent compares across survivors. State (the
+// per-barrier accumulator history) lives in the closure and carries across
+// generations, exactly as a trainer's snapshots would.
+func childElastic() {
+	cfg, ok, err := FromEnv()
+	if !ok || err != nil {
+		fmt.Fprintf(os.Stderr, "bad child env: %v\n", err)
+		os.Exit(64)
+	}
+	cfg.Timeout = 60 * time.Second
+	out, err := os.Create(os.Getenv(envChildOut))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "out file: %v\n", err)
+		os.Exit(64)
+	}
+	defer out.Close()
+
+	hist := map[int]float64{0: 0}
+	var last comm.Membership
+	worker := func(m comm.Membership, ep comm.Endpoint) {
+		last = m
+		resume := 0
+		for b := range hist {
+			if b > resume {
+				resume = b
+			}
+		}
+		if m.Gen > 0 {
+			// Agree on the minimum passed barrier, like the elastic trainer.
+			for peer := 0; peer < m.P; peer++ {
+				if peer != m.Rank {
+					ep.Send(peer, float64(resume), 8)
+				}
+			}
+			for peer := 0; peer < m.P; peer++ {
+				if peer != m.Rank {
+					v, _ := ep.Recv(peer)
+					if b := int(v.(float64)); b < resume {
+						resume = b
+					}
+				}
+			}
+		}
+		acc := hist[resume]
+		for it := resume; it < elIters; it++ {
+			fmt.Fprintf(out, "iter %d p=%d\n", it, m.P)
+			time.Sleep(elPace)
+			for peer := 0; peer < m.P; peer++ {
+				if peer != m.Rank {
+					ep.Send(peer, float64(1), 8)
+				}
+			}
+			total := 1.0
+			for peer := 0; peer < m.P; peer++ {
+				if peer != m.Rank {
+					v, _ := ep.Recv(peer)
+					total += v.(float64)
+				}
+			}
+			acc += total
+			ep.SyncClock()
+			hist[it+1] = acc
+		}
+	}
+	_, recs, err := NewProcBackend(cfg).RunElastic(cfg.P, comm.ElasticOptions{MinP: 2, MaxRestarts: 2}, worker)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "elastic run: %v\n", err)
+		os.Exit(1)
+	}
+	gen := 0
+	if len(recs) > 0 {
+		gen = recs[len(recs)-1].Gen
+	}
+	fmt.Fprintf(out, "done p=%d gen=%d lost=%v acc=%g\n", last.P, gen, last.Lost, hist[elIters])
+}
+
+// TestElasticSurvivesSIGKILL is the ISSUE's headline acceptance: a tcpnet
+// worker process SIGKILL'd mid-Reduce must leave the survivors able to
+// re-rendezvous at generation 1 with the shrunk membership and finish the
+// run agreeing bit-exactly. The victim is rank 0, so the recovery also
+// exercises rank-0 failover (lowest surviving ID leads the rejoin).
+func TestElasticSurvivesSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks worker processes")
+	}
+	cmds, outs := spawnWorkers(t, "elastic", 3,
+		EnvRejoinProbe+"=1s", EnvRejoinSettle+"=400ms")
+
+	// Wait for the victim to enter iteration 3, then SIGKILL it. The pacing
+	// sleep it just started keeps the kill mid-iteration: survivors are
+	// blocked in that iteration's Recv or barrier when the sockets die.
+	deadline := time.Now().Add(30 * time.Second)
+	for !strings.Contains(readOut(t, outs[0]), "iter 3") {
+		if time.Now().After(deadline) {
+			for _, cmd := range cmds {
+				cmd.Process.Kill()
+			}
+			t.Fatalf("victim never reached iteration 3; progress:\n%s", readOut(t, outs[0]))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmds[0].Process.Kill(); err != nil {
+		t.Fatalf("killing victim: %v", err)
+	}
+
+	errs := waitAll(t, cmds, 2*time.Minute)
+	if exitCode(errs[0]) != -1 {
+		t.Fatalf("victim should have died by signal, got %v", errs[0])
+	}
+	var done []string
+	for _, rank := range []int{1, 2} {
+		if code := exitCode(errs[rank]); code != 0 {
+			t.Fatalf("survivor %d: exit %d (err %v)\nstderr:\n%s\nout:\n%s",
+				rank, code, errs[rank], cmds[rank].Stderr, readOut(t, outs[rank]))
+		}
+		lines := strings.Split(strings.TrimSpace(readOut(t, outs[rank])), "\n")
+		last := lines[len(lines)-1]
+		if !strings.HasPrefix(last, "done ") {
+			t.Fatalf("survivor %d: no done-line:\n%s", rank, strings.Join(lines, "\n"))
+		}
+		done = append(done, last)
+	}
+	if done[0] != done[1] {
+		t.Fatalf("survivors disagree after recovery:\n1: %s\n2: %s", done[0], done[1])
+	}
+	if !strings.Contains(done[0], "p=2") || !strings.Contains(done[0], "gen=1") || !strings.Contains(done[0], "lost=[0]") {
+		t.Fatalf("recovery did not shrink to the survivors: %s", done[0])
+	}
+	// The kill pins the agreed resume barrier at 3 (or 4 when the victim's
+	// final sends won the race with the signal); either way the survivors'
+	// total is 3 workers × r iterations + 2 workers × (6−r).
+	if !strings.Contains(done[0], "acc=15") && !strings.Contains(done[0], "acc=16") {
+		t.Fatalf("post-recovery accumulator out of range: %s", done[0])
+	}
+}
+
+// readOut returns the current contents of a child's output file; a file
+// that does not exist yet reads as empty.
+func readOut(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		t.Fatal(err)
+	}
+	return string(data)
 }
 
 func exitCode(err error) int {

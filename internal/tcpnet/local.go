@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"spardl/internal/chaos"
 	"spardl/internal/comm"
 )
 
@@ -16,9 +17,21 @@ import (
 // data path (spardl-bench -tcp-baseline) or exercise it under the race
 // detector without forking worker processes. timeout bounds rendezvous,
 // mesh establishment and graceful close; zero means the package default.
-func LocalBackend(timeout time.Duration) comm.Backend { return localBackend{timeout} }
+func LocalBackend(timeout time.Duration) comm.Backend { return localBackend{timeout: timeout} }
 
-type localBackend struct{ timeout time.Duration }
+// LocalChaosBackend is LocalBackend with a deterministic fault schedule:
+// every worker goroutine's outbound streams run through a chaosConn driven
+// by its injector, and scheduled crashes kill the worker at the named
+// barrier. Replays with the same schedule are bit-identical, and the same
+// schedule replays identically on livenet — the chaos suite pins it.
+func LocalChaosBackend(timeout time.Duration, sched *chaos.Schedule) comm.Backend {
+	return localBackend{timeout: timeout, sched: sched}
+}
+
+type localBackend struct {
+	timeout time.Duration
+	sched   *chaos.Schedule
+}
 
 // Name implements comm.Backend.
 func (localBackend) Name() string { return "tcpnet-local" }
@@ -59,7 +72,8 @@ func (b localBackend) Run(p int, worker func(rank int, ep comm.Endpoint)) *comm.
 					}
 				}
 			}()
-			ep, err := Start(Config{Rendezvous: addr, P: p, Rank: rank, Timeout: b.timeout})
+			ep, err := Start(Config{Rendezvous: addr, P: p, Rank: rank, Timeout: b.timeout,
+				Injector: b.sched.Worker(rank)})
 			if err != nil {
 				panic(err)
 			}

@@ -1,0 +1,380 @@
+package tcpnet
+
+// Elastic re-rendezvous for forked worker processes. Unlike the local
+// (single-process) elastic driver, no central coordinator observes the
+// fleet: each surviving process classifies its own poison, elects the new
+// rendezvous leader, and re-forms the mesh.
+//
+// Every worker derives a per-identity rejoin address from the base
+// rendezvous address: port + 1 + ID. On a poisoned fabric, a survivor walks
+// the current membership in ascending ID order: the first candidate below
+// its own ID that answers within the probe window is the leader (rank-0
+// failover — the lowest surviving ID always wins), and a candidate that
+// cannot be reached is presumed dead; connection-refused and not-yet-bound
+// are indistinguishable, so each dead candidate burns one probe window. A
+// survivor that finds no living candidate below itself IS the leader: it
+// binds its own rejoin address, collects check-ins until the membership
+// settles (no new check-in for a settle window, or every previous member
+// has checked in), assigns ranks by ascending stable ID, and distributes
+// the new ID and address maps; mesh establishment then proceeds exactly as
+// at generation 0. Generation numbers ride in every hello and handshake, so
+// a straggler from a torn generation is struck out instead of corrupting
+// the new fabric.
+//
+// Two caveats, accepted for this protocol's scale: the derived rejoin ports
+// must be free on the leader's host (a fixed base port makes them
+// predictable; ReserveLoopbackAddr's kernel-chosen ports make collisions
+// unlikely), and the probe window must exceed the worst-case skew between
+// survivors noticing the poison — a survivor that probes before the true
+// leader binds would elect itself and split the fleet. The defaults (2s
+// probe against millisecond poison cascades) leave three orders of
+// magnitude of margin.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"spardl/internal/chaos"
+	"spardl/internal/comm"
+)
+
+// EnvRejoinProbe and EnvRejoinSettle override the leader-election probe
+// window and the membership settle window with time.ParseDuration strings.
+const (
+	EnvRejoinProbe  = "SPARDL_TCP_REJOIN_PROBE"
+	EnvRejoinSettle = "SPARDL_TCP_REJOIN_SETTLE"
+)
+
+func rejoinProbe() time.Duration  { return envDuration(EnvRejoinProbe, 2*time.Second) }
+func rejoinSettle() time.Duration { return envDuration(EnvRejoinSettle, 750*time.Millisecond) }
+
+func envDuration(name string, def time.Duration) time.Duration {
+	if s := os.Getenv(name); s != "" {
+		if d, err := time.ParseDuration(s); err == nil && d > 0 {
+			return d
+		}
+	}
+	return def
+}
+
+// rejoinAddr derives the per-identity rejoin address: base port + 1 + id.
+func rejoinAddr(rendezvous string, id int) (string, error) {
+	host, portStr, err := net.SplitHostPort(rendezvous)
+	if err != nil {
+		return "", fmt.Errorf("tcpnet: bad rendezvous address %q: %w", rendezvous, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return "", fmt.Errorf("tcpnet: bad rendezvous port %q: %w", portStr, err)
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port+1+id)), nil
+}
+
+// rejoin re-forms the mesh after a poisoned generation: leader election,
+// settle-window rendezvous, then the standard mesh establishment. members
+// is the membership of the torn generation; the returned ids are the new
+// one (ascending stable IDs of everyone who made it).
+func rejoin(cfg Config, myID, gen int, members []int) (*Endpoint, []int, error) {
+	deadline := time.Now().Add(cfg.Timeout)
+	dataLn, err := net.Listen("tcp", net.JoinHostPort(cfg.Host, "0"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: data listener: %v", ErrRendezvous, err)
+	}
+	defer dataLn.Close()
+	dataLn.(*net.TCPListener).SetDeadline(deadline)
+	myAddr := dataLn.Addr().String()
+
+	var rank int
+	var ids []int
+	var addrs []string
+	joined := false
+	probe := rejoinProbe()
+	for _, cand := range members {
+		if cand >= myID {
+			break
+		}
+		addr, err := rejoinAddr(cfg.Rendezvous, cand)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, i, a, ferr := followRejoin(addr, myID, gen, myAddr, probe, deadline)
+		if ferr == nil {
+			rank, ids, addrs, joined = r, i, a, true
+			break
+		}
+	}
+	if !joined {
+		addr, err := rejoinAddr(cfg.Rendezvous, myID)
+		if err != nil {
+			return nil, nil, err
+		}
+		rank, ids, addrs, err = leadRejoin(addr, myID, gen, myAddr, members, deadline)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrRendezvous, err)
+		}
+	}
+
+	e := newEndpoint(len(ids), rank, cfg.Timeout)
+	e.ids = ids
+	e.id = myID
+	e.inj = cfg.Injector
+	e.onCrash = cfg.OnCrash
+	if err := e.mesh(dataLn, addrs, gen, deadline); err != nil {
+		e.Abort(err.Error())
+		return nil, nil, fmt.Errorf("%w: %v", ErrRendezvous, err)
+	}
+	e.run()
+	return e, ids, nil
+}
+
+// followRejoin checks in with a candidate leader. The hello's want field
+// carries this worker's stable ID; the assignment answers with the new
+// rank, ID map and address map once the leader's membership settles. A
+// candidate unreachable within the probe window is presumed dead.
+func followRejoin(addr string, myID, gen int, dataAddr string, probe time.Duration, deadline time.Time) (int, []int, []string, error) {
+	probeDeadline := time.Now().Add(probe)
+	if probeDeadline.After(deadline) {
+		probeDeadline = deadline
+	}
+	conn, err := dialRetry(addr, myID, probeDeadline)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(deadline) // the leader answers after its settle window
+	if err := writeHello(conn, myID, gen, dataAddr); err != nil {
+		return 0, nil, nil, err
+	}
+	rank, g, ids, addrs, err := readAssignment(conn)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if g != gen {
+		return 0, nil, nil, fmt.Errorf("leader at %s is at generation %d, want %d", addr, g, gen)
+	}
+	return rank, ids, addrs, nil
+}
+
+// leadRejoin is the elected leader's side: bind the derived rejoin address,
+// collect survivor check-ins until the membership settles, assign ranks by
+// ascending stable ID, and distribute the maps.
+func leadRejoin(addr string, myID, gen int, dataAddr string, members []int, deadline time.Time) (int, []int, []string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("rejoin listener on %s: %v", addr, err)
+	}
+	defer ln.Close()
+	settle := rejoinSettle()
+
+	type checkin struct {
+		conn net.Conn
+		addr string
+	}
+	joined := map[int]*checkin{}
+	defer func() {
+		for _, c := range joined {
+			c.conn.Close()
+		}
+	}()
+	strikes := 0
+	for len(joined) < len(members)-1 {
+		wait := settle
+		if d := time.Until(deadline); d < wait {
+			wait = d
+		}
+		if wait <= 0 {
+			break
+		}
+		ln.(*net.TCPListener).SetDeadline(time.Now().Add(wait))
+		conn, err := ln.Accept()
+		if err != nil {
+			// The settle window passed with no new check-in: whoever has
+			// not reported by now is presumed dead; the membership is final.
+			break
+		}
+		conn.SetDeadline(deadline)
+		id, g, a, err := readHello(conn)
+		if err == nil && (g != gen || id == myID || joined[id] != nil) {
+			err = fmt.Errorf("bad rejoin hello: id=%d gen=%d", id, g)
+		}
+		if err != nil {
+			conn.Close()
+			strikes++
+			if strikes > 4*len(members) {
+				return 0, nil, nil, fmt.Errorf("rejoin gave up after %d bad check-ins", strikes)
+			}
+			continue
+		}
+		joined[id] = &checkin{conn: conn, addr: a}
+	}
+
+	ids := make([]int, 0, len(joined)+1)
+	ids = append(ids, myID)
+	for id := range joined {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	addrs := make([]string, len(ids))
+	myRank := 0
+	for r, id := range ids {
+		if id == myID {
+			addrs[r] = dataAddr
+			myRank = r
+			continue
+		}
+		addrs[r] = joined[id].addr
+	}
+	for r, id := range ids {
+		if id == myID {
+			continue
+		}
+		c := joined[id]
+		if err := writeAssignment(c.conn, r, gen, ids, addrs); err != nil {
+			return 0, nil, nil, fmt.Errorf("rejoin assignment to worker %d: %v", id, err)
+		}
+		c.conn.Close()
+		delete(joined, id)
+	}
+	return myRank, ids, addrs, nil
+}
+
+// NewProcBackend adapts one worker process to the elastic contract: Run is
+// a plain single-rank session over an already-configured cluster, and
+// RunElastic adds the restart loop — poison classification, survivor
+// re-rendezvous, resume — for the single rank this process hosts. The
+// other ranks are separate processes running their own ProcBackend
+// (cmd/spardl-worker -elastic). cfg is the generation-0 configuration;
+// cfg.Injector, when set, is carried across generations so one-shot faults
+// never re-fire.
+func NewProcBackend(cfg Config) comm.ElasticBackend { return procBackend{cfg} }
+
+type procBackend struct{ cfg Config }
+
+// Name implements comm.Backend.
+func (procBackend) Name() string { return "tcpnet" }
+
+// Run implements comm.Backend for this process's single rank, fail-fast.
+func (b procBackend) Run(p int, worker func(rank int, ep comm.Endpoint)) *comm.Report {
+	if p != b.cfg.P {
+		panic(fmt.Sprintf("tcpnet: backend configured for P=%d, Run asked for %d", b.cfg.P, p))
+	}
+	ep, err := Start(b.cfg)
+	if err != nil {
+		panic(err)
+	}
+	defer ep.Close()
+	return SelfBackend(ep).Run(p, worker)
+}
+
+// RunElastic implements comm.ElasticBackend for this process's single rank.
+// The returned report covers this rank alone (like SelfBackend); a
+// scheduled crash of this very process surfaces as an error after the
+// outbound drain — callers that must die hard set cfg.OnCrash to exit.
+func (b procBackend) RunElastic(p int, opts comm.ElasticOptions, worker comm.ElasticWorker) (*comm.Report, []comm.Recovery, error) {
+	cfg := b.cfg
+	cfg.P = p
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	minP := opts.MinP
+	if minP <= 0 {
+		minP = 1
+	}
+	maxRestarts := opts.MaxRestarts
+	if maxRestarts <= 0 {
+		maxRestarts = 1
+	}
+
+	ep, err := Start(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	myID := ep.ID()
+	members := make([]int, p)
+	for i := range members {
+		members[i] = i
+	}
+	var (
+		recoveries []comm.Recovery
+		lost       []int
+		restarts   int
+		gen        int
+	)
+	for {
+		r := runWorkerBody(worker, comm.Membership{
+			Gen: gen, P: ep.P(), Rank: ep.Rank(), ID: myID,
+			Lost: append([]int(nil), lost...),
+		}, ep)
+		if r == nil {
+			rep := &comm.Report{
+				Time:      ep.Clock(),
+				PerWorker: make([]comm.Stats, ep.P()),
+				Clocks:    make([]float64, ep.P()),
+			}
+			rep.PerWorker[ep.Rank()] = ep.Stats()
+			rep.Clocks[ep.Rank()] = ep.Clock()
+			ep.Close()
+			return rep, recoveries, nil
+		}
+		cause := fmt.Sprintf("worker %d: %v", myID, r)
+		if c := ep.ChaosCause(); c != "" {
+			cause = fmt.Sprintf("worker %d: %s", myID, c)
+		}
+		ep.Abort(cause)
+		ep.Close()
+		if chaos.IsCrashed(r) {
+			// This process itself was scheduled to die; without an OnCrash
+			// exit hook the crash surfaces as this generation's error.
+			return nil, recoveries, fmt.Errorf("tcpnet: %s", cause)
+		}
+		if restarts >= maxRestarts {
+			return nil, recoveries, fmt.Errorf("tcpnet: giving up after %d re-rendezvous; root cause: %s", restarts, cause)
+		}
+		restarts++
+		gen++
+		t0 := time.Now()
+		newEp, ids, err := rejoin(cfg, myID, gen, members)
+		if err != nil {
+			return nil, recoveries, fmt.Errorf("tcpnet: re-rendezvous at generation %d failed: %w; root cause: %s", gen, err, cause)
+		}
+		if len(ids) < minP {
+			newEp.Abort(fmt.Sprintf("worker %d: %d survivors is below MinP=%d", myID, len(ids), minP))
+			newEp.Close()
+			return nil, recoveries, fmt.Errorf("tcpnet: %d survivors is below MinP=%d; root cause: %s", len(ids), minP, cause)
+		}
+		var departed []int
+		alive := map[int]bool{}
+		for _, id := range ids {
+			alive[id] = true
+		}
+		for _, id := range members {
+			if !alive[id] {
+				departed = append(departed, id)
+			}
+		}
+		members = ids
+		lost = append(lost, departed...)
+		sort.Ints(lost)
+		recoveries = append(recoveries, comm.Recovery{
+			Gen:           gen,
+			P:             len(ids),
+			Lost:          departed,
+			Cause:         cause,
+			RejoinSeconds: time.Since(t0).Seconds(),
+		})
+		ep = newEp
+	}
+}
+
+// runWorkerBody runs the worker and returns its recovered panic value, nil
+// on clean completion.
+func runWorkerBody(worker comm.ElasticWorker, m comm.Membership, ep comm.Endpoint) (r any) {
+	defer func() { r = recover() }()
+	worker(m, ep)
+	return nil
+}

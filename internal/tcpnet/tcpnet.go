@@ -46,17 +46,43 @@ package tcpnet
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"time"
+
+	"spardl/internal/chaos"
 )
 
 // Protocol constants. The magic/version prefix guards both the rendezvous
-// hello and the mesh handshake against foreign connections.
+// hello and the mesh handshake against foreign connections. Version 2 added
+// generation numbers to every hello, assignment and handshake, and the
+// stable-ID map to the assignment — the elastic re-rendezvous protocol.
 var magic = [4]byte{'S', 'P', 'D', 'L'}
 
-const protoVersion = 1
+const protoVersion = 2
+
+// ErrRendezvous tags every Start failure that happened before the mesh came
+// up — an unreachable or timed-out rendezvous, a torn check-in budget, an
+// assignment mismatch — so callers (spardl-worker's exit codes) can tell
+// "the cluster never formed" apart from a mid-training poisoned fabric.
+var ErrRendezvous = errors.New("tcpnet: rendezvous failed")
+
+// EnvTimeout optionally overrides the default 30s rendezvous/mesh/drain
+// timeout with a time.ParseDuration string — "5m" for WAN clusters whose
+// workers come up minutes apart, "5s" for impatient local test sweeps.
+const EnvTimeout = "SPARDL_TCP_TIMEOUT"
+
+func defaultTimeout() time.Duration {
+	if s := os.Getenv(EnvTimeout); s != "" {
+		if d, err := time.ParseDuration(s); err == nil && d > 0 {
+			return d
+		}
+	}
+	return 30 * time.Second
+}
 
 // Frame kinds.
 const (
@@ -80,8 +106,28 @@ type Config struct {
 	// their own reachable address.
 	Host string
 	// Timeout bounds rendezvous and mesh establishment, and the graceful
-	// drain in Close. Zero defaults to 30s.
+	// drain in Close. Zero defaults to SPARDL_TCP_TIMEOUT, or 30s.
 	Timeout time.Duration
+	// Gen is the fabric generation this worker is rendezvousing for.
+	// Generation 0 is the initial cluster; elastic re-rendezvous increments
+	// it. The hello, assignment and mesh handshake all carry it, so a
+	// straggler from a torn generation is struck out instead of corrupting
+	// the new fabric.
+	Gen int
+	// IDs maps every rank to its stable identity — its generation-0 rank
+	// (len P); nil means the identity map, correct for generation 0. State
+	// carried across an elastic re-rendezvous, and every chaos schedule, is
+	// keyed by stable ID, not by the current (re-packed) rank.
+	IDs []int
+	// Injector optionally injects this worker's scheduled faults (package
+	// chaos) into its outbound frame streams; nil runs healthy. The same
+	// injector must be carried across generations so one-shot faults do not
+	// re-fire after a re-rendezvous.
+	Injector chaos.Injector
+	// OnCrash overrides what a scheduled chaos crash does after the
+	// outbound streams drain. nil panics with chaos.Crashed — the
+	// goroutine-worker behaviour; forked worker processes exit instead.
+	OnCrash func(iter int)
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -95,7 +141,10 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("tcpnet: rendezvous address required for P=%d", c.P)
 	}
 	if c.Timeout <= 0 {
-		c.Timeout = 30 * time.Second
+		c.Timeout = defaultTimeout()
+	}
+	if c.IDs != nil && len(c.IDs) != c.P {
+		return c, fmt.Errorf("tcpnet: ID map has %d entries for P=%d", len(c.IDs), c.P)
 	}
 	if c.Host == "" && c.Rendezvous != "" {
 		host, _, err := net.SplitHostPort(c.Rendezvous)
@@ -117,12 +166,14 @@ func Start(cfg Config) (*Endpoint, error) {
 	}
 	deadline := time.Now().Add(cfg.Timeout)
 	if cfg.P == 1 {
-		return newEndpoint(1, 0, cfg.Timeout), nil
+		e := newEndpoint(1, 0, cfg.Timeout)
+		e.configure(cfg, 0)
+		return e, nil
 	}
 
 	dataLn, err := net.Listen("tcp", net.JoinHostPort(cfg.Host, "0"))
 	if err != nil {
-		return nil, fmt.Errorf("tcpnet: data listener: %w", err)
+		return nil, fmt.Errorf("%w: data listener: %v", ErrRendezvous, err)
 	}
 	defer dataLn.Close()
 	dataLn.(*net.TCPListener).SetDeadline(deadline)
@@ -136,13 +187,14 @@ func Start(cfg Config) (*Endpoint, error) {
 		rank, addrs, err = checkIn(cfg, dataLn.Addr().String(), deadline)
 	}
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrRendezvous, err)
 	}
 
 	e := newEndpoint(cfg.P, rank, cfg.Timeout)
-	if err := e.mesh(dataLn, addrs, deadline); err != nil {
+	e.configure(cfg, rank)
+	if err := e.mesh(dataLn, addrs, cfg.Gen, deadline); err != nil {
 		e.Abort(err.Error())
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrRendezvous, err)
 	}
 	e.run()
 	return e, nil
@@ -150,7 +202,13 @@ func Start(cfg Config) (*Endpoint, error) {
 
 // serveRendezvous is rank 0's side of check-in: accept P-1 hellos, assign
 // ranks (explicit requests win; -1 workers fill the free slots in arrival
-// order), then send every worker its rank and the full data-address map.
+// order), then send every worker its rank, the stable-ID map and the full
+// data-address map. A torn or foreign check-in — a worker that died
+// mid-hello, a port scanner, a straggler from a stale generation — is
+// dropped and the listener keeps accepting: the dead worker's replacement
+// (or its retry) re-registers on a fresh connection. A strike budget still
+// catches a systematically broken cluster instead of looping to the
+// deadline.
 func serveRendezvous(cfg Config, ownDataAddr string, deadline time.Time) ([]string, error) {
 	ln, err := net.Listen("tcp", cfg.Rendezvous)
 	if err != nil {
@@ -170,16 +228,24 @@ func serveRendezvous(cfg Config, ownDataAddr string, deadline time.Time) ([]stri
 			c.conn.Close()
 		}
 	}()
+	strikes := 0
 	for len(pending) < cfg.P-1 {
 		conn, err := ln.Accept()
 		if err != nil {
 			return nil, fmt.Errorf("tcpnet: rendezvous accept (have %d/%d workers): %w", len(pending), cfg.P-1, err)
 		}
 		conn.SetDeadline(deadline)
-		want, addr, err := readHello(conn)
+		want, gen, addr, err := readHello(conn)
+		if err == nil && gen != cfg.Gen {
+			err = fmt.Errorf("stale generation %d (rendezvous is at %d)", gen, cfg.Gen)
+		}
 		if err != nil {
 			conn.Close()
-			return nil, fmt.Errorf("tcpnet: rendezvous hello: %w", err)
+			strikes++
+			if strikes > 4*cfg.P {
+				return nil, fmt.Errorf("tcpnet: rendezvous gave up after %d bad check-ins, last: %v", strikes, err)
+			}
+			continue
 		}
 		pending = append(pending, &checkin{conn: conn, want: want, addr: addr})
 	}
@@ -211,8 +277,15 @@ func serveRendezvous(cfg Config, ownDataAddr string, deadline time.Time) ([]stri
 		addrs[next] = c.addr
 		ranks[i] = next
 	}
+	ids := cfg.IDs
+	if ids == nil {
+		ids = make([]int, cfg.P)
+		for i := range ids {
+			ids[i] = i
+		}
+	}
 	for i, c := range pending {
-		if err := writeAssignment(c.conn, ranks[i], addrs); err != nil {
+		if err := writeAssignment(c.conn, ranks[i], cfg.Gen, ids, addrs); err != nil {
 			return nil, fmt.Errorf("tcpnet: rendezvous reply to rank %d: %w", ranks[i], err)
 		}
 		c.conn.Close()
@@ -223,26 +296,58 @@ func serveRendezvous(cfg Config, ownDataAddr string, deadline time.Time) ([]stri
 
 // checkIn is the non-zero worker's side of rendezvous: dial rank 0 (with
 // retry — workers race rank 0's listen), announce the desired rank and the
-// data address, and receive the assignment plus the address map.
+// data address, and receive the assignment plus the ID and address maps. A
+// check-in whose hello tore mid-write re-registers on a fresh connection —
+// the rendezvous struck the torn half out without consuming a slot — up to
+// a small attempt budget within the deadline.
 func checkIn(cfg Config, dataAddr string, deadline time.Time) (int, []string, error) {
-	conn, err := dialRetry(cfg.Rendezvous, deadline)
+	var lastErr error
+	for attempt := 0; attempt < 4 && time.Now().Before(deadline); attempt++ {
+		rank, addrs, err := checkInOnce(cfg, dataAddr, deadline)
+		if err == nil {
+			return rank, addrs, nil
+		}
+		lastErr = err
+		if !errors.Is(err, errTornCheckIn) {
+			return 0, nil, err
+		}
+	}
+	return 0, nil, lastErr
+}
+
+// errTornCheckIn marks a check-in failure where the hello provably did not
+// register (the write itself failed), making a bounded retry safe: a hello
+// that registered but whose assignment read failed must NOT retry — the
+// slot is consumed, and a second registration would corrupt the count.
+var errTornCheckIn = errors.New("torn check-in")
+
+func checkInOnce(cfg Config, dataAddr string, deadline time.Time) (int, []string, error) {
+	conn, err := dialRetry(cfg.Rendezvous, cfg.Rank+1, deadline)
 	if err != nil {
 		return 0, nil, fmt.Errorf("tcpnet: rendezvous at %s unreachable: %w", cfg.Rendezvous, err)
 	}
 	defer conn.Close()
 	conn.SetDeadline(deadline)
-	if err := writeHello(conn, cfg.Rank, dataAddr); err != nil {
-		return 0, nil, fmt.Errorf("tcpnet: hello: %w", err)
+	if err := writeHello(conn, cfg.Rank, cfg.Gen, dataAddr); err != nil {
+		return 0, nil, fmt.Errorf("tcpnet: hello: %w (%w)", err, errTornCheckIn)
 	}
-	rank, addrs, err := readAssignment(conn)
+	rank, gen, ids, addrs, err := readAssignment(conn)
 	if err != nil {
 		return 0, nil, fmt.Errorf("tcpnet: rendezvous assignment: %w", err)
+	}
+	if gen != cfg.Gen {
+		return 0, nil, fmt.Errorf("tcpnet: rendezvous is at generation %d, this worker is at %d", gen, cfg.Gen)
 	}
 	if len(addrs) != cfg.P {
 		return 0, nil, fmt.Errorf("tcpnet: rendezvous says P=%d, this worker was configured for P=%d", len(addrs), cfg.P)
 	}
 	if cfg.Rank >= 0 && rank != cfg.Rank {
 		return 0, nil, fmt.Errorf("tcpnet: rendezvous assigned rank %d, wanted %d", rank, cfg.Rank)
+	}
+	for i, id := range ids {
+		if want := cfg.IDs; want != nil && want[i] != id {
+			return 0, nil, fmt.Errorf("tcpnet: rendezvous ID map disagrees at rank %d: %d vs %d", i, id, want[i])
+		}
 	}
 	return rank, addrs, nil
 }
@@ -255,44 +360,54 @@ func checkIn(cfg Config, dataAddr string, deadline time.Time) (int, []string, er
 // caller's Abort closes everything registered so far, and anything a
 // still-running goroutine establishes afterwards is closed at
 // registration time.
-func (e *Endpoint) mesh(dataLn net.Listener, addrs []string, deadline time.Time) error {
+func (e *Endpoint) mesh(dataLn net.Listener, addrs []string, gen int, deadline time.Time) error {
 	errs := make(chan error, 2)
 	go func() {
-		for i := 0; i < e.p-1-e.rank; i++ {
+		strikes := 0
+		for i := 0; i < e.p-1-e.rank; {
 			conn, err := dataLn.Accept()
 			if err != nil {
 				errs <- fmt.Errorf("tcpnet: mesh accept: %w", err)
 				return
 			}
 			conn.SetDeadline(deadline)
-			peer, err := readHandshake(conn)
-			if err != nil {
-				conn.Close()
-				errs <- fmt.Errorf("tcpnet: mesh handshake: %w", err)
-				return
+			peer, peerGen, err := readHandshake(conn)
+			if err == nil && peerGen != gen {
+				err = fmt.Errorf("handshake from generation %d, fabric is at %d", peerGen, gen)
 			}
-			if peer <= e.rank || peer >= e.p {
+			if err == nil && (peer <= e.rank || peer >= e.p) {
+				err = fmt.Errorf("handshake from rank %d, expected a rank in (%d,%d) to dial us", peer, e.rank, e.p)
+			}
+			if err != nil {
+				// A torn or foreign handshake — like a torn rendezvous hello
+				// — strikes out without tearing the whole mesh down; the
+				// real peer's connection is still coming.
 				conn.Close()
-				errs <- fmt.Errorf("tcpnet: mesh handshake from rank %d, expected a rank in (%d,%d) to dial us", peer, e.rank, e.p)
-				return
+				strikes++
+				if strikes > 4*e.p {
+					errs <- fmt.Errorf("tcpnet: mesh gave up after %d bad handshakes, last: %v", strikes, err)
+					return
+				}
+				continue
 			}
 			conn.SetDeadline(time.Time{})
 			if err := e.register(peer, conn); err != nil {
 				errs <- err
 				return
 			}
+			i++
 		}
 		errs <- nil
 	}()
 	go func() {
 		for r := 0; r < e.rank; r++ {
-			conn, err := dialRetry(addrs[r], deadline)
+			conn, err := dialRetry(addrs[r], e.rank, deadline)
 			if err != nil {
 				errs <- fmt.Errorf("tcpnet: dialing worker %d at %s: %w", r, addrs[r], err)
 				return
 			}
 			conn.SetDeadline(deadline)
-			if err := writeHandshake(conn, e.rank); err != nil {
+			if err := writeHandshake(conn, e.rank, gen); err != nil {
 				conn.Close()
 				errs <- fmt.Errorf("tcpnet: handshake to worker %d: %w", r, err)
 				return
@@ -319,20 +434,32 @@ func (e *Endpoint) mesh(dataLn net.Listener, addrs []string, deadline time.Time)
 	return nil
 }
 
-// dialRetry dials addr with short backoff until the deadline — peers race
-// each other's listener creation during startup.
-func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+// dialRetry dials addr with jittered exponential backoff until the
+// deadline — peers race each other's listener creation during startup, and
+// on a re-rendezvous a whole fleet retries the same address at once. The
+// jitter is derived deterministically from salt (the caller's rank or ID),
+// so retries decorrelate — workers do not stampede the listener in
+// lockstep — while chaos replays stay bit-reproducible: no global
+// randomness is consulted.
+func dialRetry(addr string, salt int, deadline time.Time) (net.Conn, error) {
 	backoff := 2 * time.Millisecond
+	seq := uint64(salt)*0x9E3779B97F4A7C15 + 1
 	for {
 		d := net.Dialer{Deadline: deadline}
 		conn, err := d.Dial("tcp", addr)
 		if err == nil {
 			return conn, nil
 		}
-		if time.Now().Add(backoff).After(deadline) {
+		// xorshift* step: a cheap per-salt deterministic stream; the jitter
+		// draw lands in [0, backoff/2].
+		seq ^= seq << 13
+		seq ^= seq >> 7
+		seq ^= seq << 17
+		sleep := backoff + time.Duration(seq%uint64(backoff/2+1))
+		if time.Now().Add(sleep).After(deadline) {
 			return nil, err
 		}
-		time.Sleep(backoff)
+		time.Sleep(sleep)
 		if backoff < 100*time.Millisecond {
 			backoff *= 2
 		}
@@ -367,45 +494,57 @@ func readPrefix(br *bufio.Reader) error {
 	return nil
 }
 
-func writeHello(conn net.Conn, rank int, addr string) error {
+// writeHello announces a worker to a rendezvous point. In a generation-0
+// rendezvous, `want` is the desired rank (-1 to be assigned); in an
+// elastic re-rendezvous (gen > 0), it carries the survivor's stable ID.
+func writeHello(conn net.Conn, want, gen int, addr string) error {
 	if err := writePrefix(conn); err != nil {
 		return err
 	}
 	var b []byte
-	b = binary.AppendVarint(b, int64(rank))
+	b = binary.AppendVarint(b, int64(want))
+	b = binary.AppendUvarint(b, uint64(gen))
 	b = binary.AppendUvarint(b, uint64(len(addr)))
 	b = append(b, addr...)
 	_, err := conn.Write(b)
 	return err
 }
 
-func readHello(conn net.Conn) (rank int, addr string, err error) {
+func readHello(conn net.Conn) (want, gen int, addr string, err error) {
 	br := bufio.NewReader(conn)
 	if err := readPrefix(br); err != nil {
-		return 0, "", err
+		return 0, 0, "", err
 	}
 	r, err := binary.ReadVarint(br)
 	if err != nil {
-		return 0, "", err
+		return 0, 0, "", err
+	}
+	g, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, 0, "", err
 	}
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
-		return 0, "", err
+		return 0, 0, "", err
 	}
 	if n > 1024 {
-		return 0, "", fmt.Errorf("implausible address length %d", n)
+		return 0, 0, "", fmt.Errorf("implausible address length %d", n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(br, buf); err != nil {
-		return 0, "", err
+		return 0, 0, "", err
 	}
-	return int(r), string(buf), nil
+	return int(r), int(g), string(buf), nil
 }
 
-func writeAssignment(conn net.Conn, rank int, addrs []string) error {
+func writeAssignment(conn net.Conn, rank, gen int, ids []int, addrs []string) error {
 	var b []byte
 	b = binary.AppendUvarint(b, uint64(rank))
+	b = binary.AppendUvarint(b, uint64(gen))
 	b = binary.AppendUvarint(b, uint64(len(addrs)))
+	for _, id := range ids {
+		b = binary.AppendVarint(b, int64(id))
+	}
 	for _, a := range addrs {
 		b = binary.AppendUvarint(b, uint64(len(a)))
 		b = append(b, a...)
@@ -414,75 +553,92 @@ func writeAssignment(conn net.Conn, rank int, addrs []string) error {
 	return err
 }
 
-func readAssignment(conn net.Conn) (rank int, addrs []string, err error) {
+func readAssignment(conn net.Conn) (rank, gen int, ids []int, addrs []string, err error) {
 	br := bufio.NewReader(conn)
 	r, err := binary.ReadUvarint(br)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, nil, err
+	}
+	g, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, 0, nil, nil, err
 	}
 	p, err := binary.ReadUvarint(br)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, nil, err
 	}
 	if p > 1<<16 {
-		return 0, nil, fmt.Errorf("implausible worker count %d", p)
+		return 0, 0, nil, nil, fmt.Errorf("implausible worker count %d", p)
+	}
+	ids = make([]int, p)
+	for i := range ids {
+		id, err := binary.ReadVarint(br)
+		if err != nil {
+			return 0, 0, nil, nil, err
+		}
+		ids[i] = int(id)
 	}
 	addrs = make([]string, p)
 	for i := range addrs {
 		n, err := binary.ReadUvarint(br)
 		if err != nil {
-			return 0, nil, err
+			return 0, 0, nil, nil, err
 		}
 		if n > 1024 {
-			return 0, nil, fmt.Errorf("implausible address length %d", n)
+			return 0, 0, nil, nil, fmt.Errorf("implausible address length %d", n)
 		}
 		buf := make([]byte, n)
 		if _, err := io.ReadFull(br, buf); err != nil {
-			return 0, nil, err
+			return 0, 0, nil, nil, err
 		}
 		addrs[i] = string(buf)
 	}
-	return int(r), addrs, nil
+	return int(r), int(g), ids, addrs, nil
 }
 
-func writeHandshake(conn net.Conn, rank int) error {
+func writeHandshake(conn net.Conn, rank, gen int) error {
 	if err := writePrefix(conn); err != nil {
 		return err
 	}
 	var b []byte
 	b = binary.AppendUvarint(b, uint64(rank))
+	b = binary.AppendUvarint(b, uint64(gen))
 	_, err := conn.Write(b)
 	return err
 }
 
-// readHandshake identifies the dialing peer. The bufio reader must not
-// over-read past the handshake — data frames follow on the same stream —
-// so it reads byte by byte through a tiny adapter.
-func readHandshake(conn net.Conn) (int, error) {
+// readHandshake identifies the dialing peer and its generation. The bufio
+// reader must not over-read past the handshake — data frames follow on the
+// same stream — so it reads byte by byte through a tiny adapter.
+func readHandshake(conn net.Conn) (rank, gen int, err error) {
 	one := oneByteReader{conn}
 	var m [4]byte
 	for i := range m {
 		b, err := one.ReadByte()
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		m[i] = b
 	}
 	if m != magic {
-		return 0, fmt.Errorf("bad magic %q", m[:])
+		return 0, 0, fmt.Errorf("bad magic %q", m[:])
 	}
 	v, err := binary.ReadUvarint(one)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if v != protoVersion {
-		return 0, fmt.Errorf("protocol version %d, want %d", v, protoVersion)
+		return 0, 0, fmt.Errorf("protocol version %d, want %d", v, protoVersion)
 	}
 	r, err := binary.ReadUvarint(one)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return int(r), nil
+	g, err := binary.ReadUvarint(one)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(r), int(g), nil
 }
 
 // oneByteReader reads exactly one byte per syscall, so the handshake never

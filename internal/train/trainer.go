@@ -44,6 +44,13 @@ type Config struct {
 	// experiments enable this; without it the stand-in's small gradients
 	// make communication unrealistically cheap next to ComputeTime.
 	PaperScaleComm bool
+	// Elastic opts the run into elastic membership: instead of failing fast
+	// on a poisoned fabric, survivors re-rendezvous, restore the last
+	// barrier-consistent snapshot (params, momentum, residual), and resume
+	// the synchronous rounds with the shrunk membership — see RunElastic.
+	// nil keeps the fail-fast contract. Requires a Backend implementing
+	// comm.ElasticBackend; ignored by plain Run.
+	Elastic *ElasticConfig
 	// Pipeline enables layer-wise bucketed synchronization: gradients are
 	// fused into buckets (pipeline.Config.BucketBytes) that launch their
 	// sparse all-reduce on the communication stream as soon as their

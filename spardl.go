@@ -27,6 +27,7 @@ import (
 	"os/exec"
 	"strings"
 
+	"spardl/internal/chaos"
 	"spardl/internal/comm"
 	"spardl/internal/core"
 	"spardl/internal/expt"
@@ -271,6 +272,84 @@ func TCPChildEnv(rendezvous string, p, rank int) []string {
 // TCPConfigFromEnv reads the spawned-worker convention; ok is false when
 // this process was not launched as a tcpnet worker.
 func TCPConfigFromEnv() (cfg TCPConfig, ok bool, err error) { return tcpnet.FromEnv() }
+
+// Deterministic fault injection and elastic membership. A ChaosSchedule is
+// a seed-reproducible fault program ("crash:rank=1,iter=2;drop:rank=0,
+// peer=2,frame=5"); the same schedule replays bit-identically on livenet
+// and tcpnet, which is what the chaos suite pins. Elastic backends survive
+// scheduled crashes by re-rendezvousing the survivors — see TrainElastic.
+type (
+	// ChaosSchedule is a parsed deterministic fault schedule.
+	ChaosSchedule = chaos.Schedule
+	// ElasticBackend is a Backend that survives worker loss by re-forming
+	// the fabric with the survivors (livenet and tcpnet implement it).
+	ElasticBackend = comm.ElasticBackend
+	// ElasticTrainConfig bounds an elastic run (TrainConfig.Elastic).
+	ElasticTrainConfig = train.ElasticConfig
+	// RecoveryStat is one survived membership change: the backend's
+	// re-rendezvous record plus the trainer's resume point and first-round
+	// latency.
+	RecoveryStat = train.RecoveryStat
+)
+
+// ParseChaos parses a fault-schedule string; see the chaos package grammar
+// (kind:key=value,... joined by ';', kinds crash/drop/delay/corrupt/
+// partition).
+func ParseChaos(s string) (*ChaosSchedule, error) { return chaos.Parse(s) }
+
+// LiveChaosBackend is LiveBackend under a deterministic fault schedule.
+func LiveChaosBackend(sched *ChaosSchedule) Backend { return livenet.NewChaosBackend(sched) }
+
+// TCPLocalChaosBackend is TCPLocalBackend under a deterministic fault
+// schedule: the same schedule as LiveChaosBackend, replayed over real
+// loopback sockets.
+func TCPLocalChaosBackend(sched *ChaosSchedule) Backend { return tcpnet.LocalChaosBackend(0, sched) }
+
+// TCPProcBackend adapts one worker process to the elastic contract:
+// generation 0 is a normal rendezvous at cfg, and after a poisoned fabric
+// the survivors elect the lowest surviving ID as the new rendezvous leader
+// and re-mesh (cmd/spardl-worker -elastic uses it).
+func TCPProcBackend(cfg TCPConfig) ElasticBackend { return tcpnet.NewProcBackend(cfg) }
+
+// ErrTCPRendezvous classifies TCPStart failures: errors.Is(err,
+// ErrTCPRendezvous) means the cluster never formed (nothing listening,
+// timeout, torn check-ins past budget) as opposed to a mid-training fault.
+var ErrTCPRendezvous = tcpnet.ErrRendezvous
+
+// IsPoisoned reports whether err records a poisoned communication fabric —
+// a peer died or a scheduled fault severed a link mid-collective — as
+// opposed to a rendezvous failure or a configuration error.
+func IsPoisoned(err error) bool {
+	if err == nil {
+		return false
+	}
+	s := err.Error()
+	return strings.Contains(s, "poisoned fabric") ||
+		strings.Contains(s, "severed by schedule") ||
+		chaos.IsCrashed(s)
+}
+
+// TrainElastic runs one distributed S-SGD session with elastic membership:
+// cfg.Backend must be an ElasticBackend; on a scheduled crash the
+// survivors re-rendezvous, agree on the resume iteration, restore their
+// boundary snapshots and continue with the shrunk membership. The
+// trajectory is deterministic for a given seed, schedule and substrate.
+func TrainElastic(cfg TrainConfig) (*TrainResult, []RecoveryStat, error) {
+	return train.RunElastic(cfg)
+}
+
+// TrainTCPElastic is TrainTCPRank's elastic sibling for one worker
+// process: the training session runs over TCPProcBackend(tcp), surviving
+// scheduled crashes of other processes by re-rendezvousing. Note that in
+// multi-process mode each process owns its own TrainResult: after a rank-0
+// failover the new rank 0's trajectory covers its own post-recovery
+// evaluations (res.TotalTime > 0 marks the process that held rank 0 at the
+// end).
+func TrainTCPElastic(tcp TCPConfig, cfg TrainConfig) (*TrainResult, []RecoveryStat, error) {
+	cfg.P = tcp.P
+	cfg.Backend = TCPProcBackend(tcp)
+	return train.RunElastic(cfg)
+}
 
 // TrainTCPRank is the worker-process body shared by cmd/spardl-worker and
 // the children cmd/spardl-train forks: join the mesh described by tcp, run
