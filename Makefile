@@ -1,0 +1,32 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); the vet cache lives in .vetcache and is
+# content-addressed, so it is always safe to keep or delete.
+
+VETCACHE := .vetcache
+
+.PHONY: build test race vet vet-cold bench fmt
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Incremental vet: only packages whose sources, analyzer suite, or
+# dependency export data changed since the last run are re-analyzed.
+vet:
+	go run ./cmd/spardl-vet -cache $(VETCACHE) ./...
+
+# Cold vet: re-analyze everything, bypassing the cache (what the nightly
+# vet-full CI job runs).
+vet-cold:
+	go run ./cmd/spardl-vet ./...
+
+bench:
+	go test -run '^$$' -bench 'BenchmarkReduceOnce$$' -benchmem -benchtime 20x .
+
+fmt:
+	gofmt -w .

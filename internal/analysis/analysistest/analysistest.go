@@ -7,9 +7,15 @@
 // A line may carry several quoted expectations. Every reported diagnostic
 // must match an expectation on its line and every expectation must be
 // matched by a diagnostic — unexpected and missing findings both fail the
-// test. Suppression directives are exercised for real: a fixture line
-// carrying `//spardl:<name>-ok reason` and no want comment passes only if
-// the suppression actually absorbs the finding.
+// test, each with its file:line. Suppression directives are exercised for
+// real: a fixture line carrying `//spardl:<name>-ok reason` and no want
+// comment passes only if the suppression actually absorbs the finding.
+//
+// A fixture directory may contain subdirectories; each becomes its own
+// package, importable by siblings as "spardl/fixture/<subdir>" — the way
+// cross-package fact propagation is tested. All packages run under one
+// Runner (shared fact store) in dependency order, and want comments are
+// honored in every file of every package in the tree.
 package analysistest
 
 import (
@@ -37,25 +43,39 @@ type expectation struct {
 	matched bool
 }
 
-// Run loads the fixture package in dir (e.g. "testdata/nodeterm"), runs the
-// analyzer, and reports mismatches between diagnostics and want comments.
+// Run loads the fixture tree rooted at dir (e.g. "testdata/nodeterm"),
+// runs the analyzer (plus its Requires closure) over each of its packages
+// in dependency order with a shared fact store, and reports mismatches
+// between diagnostics and want comments.
 func Run(t *testing.T, dir string, a *framework.Analyzer) {
 	t.Helper()
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, err := framework.LoadDir(abs)
+	pkgs, err := framework.LoadFixtureTree(abs)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	expects, err := parseExpectations(abs)
-	if err != nil {
-		t.Fatal(err)
+	var expects []*expectation
+	for _, pkg := range pkgs {
+		es, err := parseExpectations(pkg.Dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expects = append(expects, es...)
 	}
-	diags, err := framework.Run(pkg, a)
+	runner, err := framework.NewRunner(a)
 	if err != nil {
-		t.Fatalf("running %s: %v", a.Name, err)
+		t.Fatalf("building runner for %s: %v", a.Name, err)
+	}
+	var diags []framework.Diagnostic
+	for _, pkg := range pkgs {
+		ds, _, err := runner.RunPackage(pkg)
+		if err != nil {
+			t.Fatalf("running %s over %s: %v", a.Name, pkg.Path, err)
+		}
+		diags = append(diags, ds...)
 	}
 	for _, d := range diags {
 		if !consume(expects, d.Pos.Filename, d.Pos.Line, d.Message) {
@@ -79,6 +99,8 @@ func consume(expects []*expectation, file string, line int, msg string) bool {
 	return false
 }
 
+// parseExpectations reads the want comments of every .go file directly in
+// dir (one fixture package's files).
 func parseExpectations(dir string) ([]*expectation, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {

@@ -2,7 +2,11 @@
 // static-analysis passes that mechanically enforce this repository's
 // cross-cutting source disciplines — bit-identical collectives (nodeterm),
 // total-order float comparison (floatcmp), arena chunk ownership
-// (arenasafe) and the allocation-free steady state (hotalloc). See each
+// (arenasafe), the allocation-free steady state (hotalloc) and its
+// transitive closure (hotprop), failure-cascade ordering (poisonorder),
+// mutex discipline (locksafe) and conn deadline coverage (netdeadline).
+// The interprocedural passes share one call-graph pass (callgraph) via
+// Requires and exchange cross-package summaries via facts. See each
 // analyzer's package documentation for its exact rules and README.md
 // ("Correctness tooling") for the workflow.
 package analysis
@@ -12,15 +16,25 @@ import (
 	"spardl/internal/analysis/floatcmp"
 	"spardl/internal/analysis/framework"
 	"spardl/internal/analysis/hotalloc"
+	"spardl/internal/analysis/hotprop"
+	"spardl/internal/analysis/locksafe"
+	"spardl/internal/analysis/netdeadline"
 	"spardl/internal/analysis/nodeterm"
+	"spardl/internal/analysis/poisonorder"
 )
 
-// All returns the full spardl-vet suite in reporting order.
+// All returns the full spardl-vet suite in reporting order. The shared
+// callgraph pass is not listed — it reports nothing and is pulled in
+// automatically through Requires.
 func All() []*framework.Analyzer {
 	return []*framework.Analyzer{
 		nodeterm.Analyzer,
 		floatcmp.Analyzer,
 		arenasafe.Analyzer,
 		hotalloc.Analyzer,
+		hotprop.Analyzer,
+		poisonorder.Analyzer,
+		locksafe.Analyzer,
+		netdeadline.Analyzer,
 	}
 }

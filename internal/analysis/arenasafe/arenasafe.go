@@ -37,10 +37,11 @@ var Analyzer = &framework.Analyzer{
 	Name:     "arenasafe",
 	Doc:      "enforce sparse.Arena chunk ownership: no escapes past the epoch, no use after Recycle, no abandoned function-local chunks",
 	Suppress: "arena-ok",
+	Version:  "2",
 	Run:      run,
 }
 
-func run(pass *framework.Pass) error {
+func run(pass *framework.Pass) (any, error) {
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
@@ -48,7 +49,7 @@ func run(pass *framework.Pass) error {
 			}
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // chunkVar tracks one arena-derived *sparse.Chunk local.

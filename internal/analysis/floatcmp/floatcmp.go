@@ -38,6 +38,7 @@ var Analyzer = &framework.Analyzer{
 	Name:     "floatcmp",
 	Doc:      "flag raw float32 ordering (comparison or sort) in selection/merge code; NaN breaks IEEE order, use Float32bits total-order keys",
 	Suppress: "floatcmp-ok",
+	Version:  "2",
 	Run:      run,
 }
 
@@ -55,9 +56,9 @@ var orderedSliceFuncs = map[string]bool{
 	"Sort": true, "IsSorted": true, "Min": true, "Max": true, "BinarySearch": true,
 }
 
-func run(pass *framework.Pass) error {
+func run(pass *framework.Pass) (any, error) {
 	if !selectionPkgs[pass.Pkg.Name()] {
-		return nil
+		return nil, nil
 	}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -70,7 +71,7 @@ func run(pass *framework.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 func checkCompare(pass *framework.Pass, cmp *ast.BinaryExpr) {

@@ -1,0 +1,155 @@
+package framework
+
+// cache.go is a content-addressed verdict cache for spardl-vet, in the
+// spirit of GOCACHE: each package's analysis outcome (diagnostics + the
+// facts it exports) is stored under an action ID that hashes everything
+// the outcome depends on — the analyzer suite and versions, the package's
+// source bytes, the action IDs of in-run dependencies, and the compiled
+// export data of external ones. A warm run touches only packages whose
+// action ID changed; everything downstream of an edit re-analyzes because
+// the edited package's ID feeds its importers' IDs.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// A Cache stores one gob-encoded CacheEntry per action ID under its
+// directory. Entries are immutable: a given ID always maps to the same
+// verdict, so collisions on re-put are overwrites of identical content.
+type Cache struct {
+	dir      string
+	fileHash map[string]string // path -> content hash, memoized per run
+}
+
+// A CacheEntry is one package's reusable analysis outcome.
+type CacheEntry struct {
+	Diags []Diagnostic
+	Facts []byte
+}
+
+// OpenCache creates (if needed) and opens a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir, fileHash: make(map[string]string)}, nil
+}
+
+// SuiteHash fingerprints the analyzer suite: any name or version change
+// invalidates every cached verdict.
+func SuiteHash(analyzers []*Analyzer) string {
+	h := sha256.New()
+	io.WriteString(h, "spardl-vet suite v1\n")
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "%s@%s\n", a.Name, a.Version)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (c *Cache) hashFile(path string) (string, error) {
+	if h, ok := c.fileHash[path]; ok {
+		return h, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	c.fileHash[path] = sum
+	return sum, nil
+}
+
+// ActionID computes m's cache key. depIDs maps already-keyed analysis
+// targets (processed earlier in dependency order) to their action IDs;
+// imports outside that set are hashed through their export-data file via
+// exportFile. Imports with neither (only "unsafe" and "C" in practice)
+// contribute their name alone.
+func (c *Cache) ActionID(suiteHash string, m *Meta, depIDs map[string]string, exportFile func(string) string) (string, error) {
+	h := sha256.New()
+	io.WriteString(h, "spardl-vet action v1\n")
+	io.WriteString(h, suiteHash+"\n")
+	io.WriteString(h, m.Path+"\n")
+	files := append([]string(nil), m.GoFiles...)
+	sort.Strings(files)
+	for _, f := range files {
+		fh, err := c.hashFile(f)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "src %s %s\n", filepath.Base(f), fh)
+	}
+	imports := append([]string(nil), m.Imports...)
+	sort.Strings(imports)
+	for _, imp := range imports {
+		if id, ok := depIDs[imp]; ok {
+			fmt.Fprintf(h, "dep %s %s\n", imp, id)
+		} else if ef := exportFile(imp); ef != "" {
+			fh, err := c.hashFile(ef)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(h, "export %s %s\n", imp, fh)
+		} else {
+			fmt.Fprintf(h, "opaque %s\n", imp)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func (c *Cache) entryPath(id string) string {
+	return filepath.Join(c.dir, id[:2], id+".vet")
+}
+
+// Get returns the cached entry for an action ID, or ok=false on a miss
+// (including unreadable or corrupt entries, which behave as misses).
+func (c *Cache) Get(id string) (*CacheEntry, bool) {
+	data, err := os.ReadFile(c.entryPath(id))
+	if err != nil {
+		return nil, false
+	}
+	var e CacheEntry
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		return nil, false
+	}
+	return &e, true
+}
+
+// Put stores an entry under its action ID, atomically (write + rename) so
+// a crashed run never leaves a truncated entry behind.
+func (c *Cache) Put(id string, e *CacheEntry) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return err
+	}
+	path := c.entryPath(id)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

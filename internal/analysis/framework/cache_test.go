@@ -1,0 +1,103 @@
+package framework
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCachePutGetRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := "aabbccddee00112233445566778899aabbccddee00112233445566778899aabb"
+	in := &CacheEntry{
+		Diags: []Diagnostic{{Analyzer: "hotprop", Message: "boom"}},
+		Facts: []byte("facts-blob"),
+	}
+	if _, ok := c.Get(id); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	if err := c.Put(id, in); err != nil {
+		t.Fatal(err)
+	}
+	out, ok := c.Get(id)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if len(out.Diags) != 1 || out.Diags[0].Message != "boom" || string(out.Facts) != "facts-blob" {
+		t.Errorf("round trip mangled the entry: %+v", out)
+	}
+	// A corrupt entry behaves as a miss, never as a bad verdict.
+	if err := os.WriteFile(filepath.Join(c.dir, id[:2], id+".vet"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := OpenCache(c.dir)
+	if _, ok := c2.Get(id); ok {
+		t.Error("corrupt entry returned a hit")
+	}
+}
+
+func TestActionIDSensitivity(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "a.go")
+	export := filepath.Join(dir, "dep.a")
+	writeFile(t, src, "package a\n")
+	writeFile(t, export, "export-data-v1")
+	m := &Meta{
+		Path:    "spardl/internal/a",
+		GoFiles: []string{src},
+		Imports: []string{"spardl/internal/sibling", "spardl/internal/external", "unsafe"},
+	}
+	exportFor := func(path string) string {
+		if path == "spardl/internal/external" {
+			return export
+		}
+		return ""
+	}
+	deps := map[string]string{"spardl/internal/sibling": "sib-id-1"}
+
+	newID := func(suite string) string {
+		// A fresh cache per call drops the per-run file-hash memo, so edits
+		// to the files on disk are observed.
+		c, err := OpenCache(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := c.ActionID(suite, m, deps, exportFor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+
+	base := newID("suite1")
+	if got := newID("suite1"); got != base {
+		t.Error("action ID is not deterministic")
+	}
+	if got := newID("suite2"); got == base {
+		t.Error("suite change did not change the action ID")
+	}
+	writeFile(t, src, "package a // edited\n")
+	afterEdit := newID("suite1")
+	if afterEdit == base {
+		t.Error("source edit did not change the action ID")
+	}
+	deps["spardl/internal/sibling"] = "sib-id-2"
+	afterDep := newID("suite1")
+	if afterDep == afterEdit {
+		t.Error("dependency action-ID change did not propagate")
+	}
+	writeFile(t, export, "export-data-v2")
+	if got := newID("suite1"); got == afterDep {
+		t.Error("export-data change did not change the action ID")
+	}
+}

@@ -1,0 +1,147 @@
+package framework
+
+// facts.go is the cross-package fact layer: an analyzer attaches a fact to
+// a package-level object (function, method, type, var) while analyzing the
+// object's package, and any analyzer running later over an importing
+// package can read it back. Facts mirror golang.org/x/tools/go/analysis
+// Facts: they are gob-serialized per package so a driver can persist them
+// (the vet cache does) and so every fact is guaranteed wire-safe — the
+// runner round-trips each package's facts through the codec even when the
+// whole run happens in one process.
+//
+// Objects are keyed by a stable textual path rather than by pointer
+// identity because the importing package sees a *different* types.Object
+// for the same function: one reconstructed from export data, not the one
+// the defining package's source check produced.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// A Fact is a datum attached to a package-level object. Concrete fact
+// types must be pointers to gob-encodable structs and should be registered
+// via Analyzer.FactTypes. AFact is a marker method, as in go/analysis.
+type Fact interface {
+	AFact()
+}
+
+// ObjectPath returns a stable path for a package-level object that is
+// identical whether the object came from source or from export data:
+// "Name" for package-scope objects, "Recv.Name" for methods (the receiver
+// pointer is stripped). Objects that are not package-level (locals,
+// struct fields) have no path.
+func ObjectPath(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if named := ReceiverNamed(fn); named != nil {
+			return named.Obj().Name() + "." + fn.Name(), true
+		}
+		// Interface methods reach here with a nil ReceiverNamed; key them
+		// through the interface's type name when the receiver is named.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if named, ok := sig.Recv().Type().(*types.Named); ok {
+				return named.Obj().Name() + "." + fn.Name(), true
+			}
+			return "", false
+		}
+		return fn.Name(), true
+	}
+	if obj.Parent() == obj.Pkg().Scope() {
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// factKey identifies one fact: which package's object, which object, and
+// which fact type (an object can carry one fact per concrete type).
+type factKey struct {
+	pkg string
+	obj string
+	typ reflect.Type
+}
+
+// A FactStore holds every fact exported during a run, across packages.
+// One store is shared by all analyzers of a Runner.
+type FactStore struct {
+	m map[factKey]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[factKey]Fact)}
+}
+
+func (s *FactStore) export(pkg, obj string, f Fact) {
+	s.m[factKey{pkg, obj, reflect.TypeOf(f)}] = f
+}
+
+// lookup copies the stored fact with f's concrete type into f and reports
+// whether one was found. f must be a non-nil pointer.
+func (s *FactStore) lookup(pkg, obj string, f Fact) bool {
+	got, ok := s.m[factKey{pkg, obj, reflect.TypeOf(f)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(f).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// factRecord is the serialized form of one fact. The Fact field is an
+// interface, so concrete fact types must be gob-registered (the Runner
+// registers every Analyzer.FactTypes entry).
+type factRecord struct {
+	Obj  string
+	Fact Fact
+}
+
+// EncodePackageFacts serializes every fact attached to pkgPath's objects,
+// in a deterministic order so the blob participates in cache hashing.
+func (s *FactStore) EncodePackageFacts(pkgPath string) ([]byte, error) {
+	var recs []factRecord
+	for k, f := range s.m {
+		if k.pkg == pkgPath {
+			recs = append(recs, factRecord{Obj: k.obj, Fact: f})
+		}
+	}
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Obj != recs[j].Obj {
+			return recs[i].Obj < recs[j].Obj
+		}
+		return fmt.Sprintf("%T", recs[i].Fact) < fmt.Sprintf("%T", recs[j].Fact)
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(recs); err != nil {
+		return nil, fmt.Errorf("encoding facts for %s: %w", pkgPath, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePackageFacts merges a package's serialized facts into the store —
+// the import path for dependencies resolved from the vet cache rather
+// than re-analyzed.
+func (s *FactStore) DecodePackageFacts(pkgPath string, blob []byte) error {
+	if len(blob) == 0 {
+		return nil
+	}
+	var recs []factRecord
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&recs); err != nil {
+		return fmt.Errorf("decoding facts for %s: %w", pkgPath, err)
+	}
+	for _, r := range recs {
+		if r.Fact == nil {
+			continue
+		}
+		s.m[factKey{pkgPath, r.Obj, reflect.TypeOf(r.Fact)}] = r.Fact
+	}
+	return nil
+}

@@ -4,10 +4,25 @@
 //
 // The repository cannot vendor x/tools (the build environment is offline
 // and the module has no external dependencies by policy), so this package
-// provides the same shape — Analyzer, Pass, Reportf — on top of go/ast,
-// go/types and `go list -export`. Analyzers written against it read like
-// ordinary go/analysis analyzers and could be ported verbatim if x/tools
-// ever becomes available.
+// provides the same shape — Analyzer, Pass, Reportf, Facts, Requires —
+// on top of go/ast, go/types and `go list -export`. Analyzers written
+// against it read like ordinary go/analysis analyzers and could be ported
+// verbatim if x/tools ever becomes available.
+//
+// # Interprocedural analysis
+//
+// Two mechanisms carry information beyond a single package:
+//
+//   - Facts: an analyzer attaches serializable data to package-level
+//     objects (Pass.ExportObjectFact) and reads them back on objects that
+//     importing packages reference (Pass.ImportObjectFact). The Runner
+//     analyzes packages in dependency order, so a callee's facts are
+//     always computed — or imported from the vet cache — before any
+//     caller is analyzed.
+//   - Requires/ResultOf: an analyzer lists passes it depends on
+//     (Analyzer.Requires); their Run result for the current package is
+//     available through Pass.ResultOf, the way go/analysis shares the
+//     inspect pass. spardl-vet shares one call-graph pass this way.
 //
 // # Suppression directives
 //
@@ -22,6 +37,7 @@
 package framework
 
 import (
+	"encoding/gob"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -35,14 +51,25 @@ import (
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics (e.g. "nodeterm").
 	Name string
-	// Doc is the one-paragraph description `spardl-vet -help` prints.
+	// Doc is the one-paragraph description `spardl-vet -list` prints.
 	Doc string
 	// Suppress is the directive suffix that silences a finding:
 	// a comment `//spardl:<Suppress> <reason>` on the finding's line or
 	// the line above it.
 	Suppress string
-	// Run executes the pass and reports findings via pass.Reportf.
-	Run func(*Pass) error
+	// Version participates in the vet-cache action ID. Bump it whenever
+	// the analyzer's rules change so stale cached verdicts are discarded.
+	Version string
+	// Requires lists analyzers that must run before this one on each
+	// package; their results are available through Pass.ResultOf. The
+	// Runner completes the transitive closure automatically.
+	Requires []*Analyzer
+	// FactTypes enumerates the concrete fact types (pointers to structs)
+	// this analyzer exports or imports, for gob registration.
+	FactTypes []Fact
+	// Run executes the pass, reports findings via pass.Reportf, and
+	// returns the result value exposed to dependent analyzers.
+	Run func(*Pass) (any, error)
 }
 
 // A Pass provides one analyzer run over one package.
@@ -52,6 +79,12 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// ResultOf holds the Run results of this package's earlier passes;
+	// entries for Analyzer.Requires are guaranteed present.
+	ResultOf map[*Analyzer]any
+
+	facts *FactStore
 
 	// suppressed maps file name -> line -> directive names present with a
 	// reason on that line. Built once per package by newPass.
@@ -75,6 +108,17 @@ func (d Diagnostic) String() string {
 // mandatory for suppression directives; marker directives like
 // //spardl:hotpath take no reason.
 var directiveRE = regexp.MustCompile(`^//spardl:([a-z0-9-]+)(?:[ \t]+(.*))?$`)
+
+// parseDirective decodes one //spardl:<name> [reason] comment. The text is
+// taken as the scanner produced it; a trailing '\r' from a CRLF file is
+// stripped first so directives survive Windows line endings.
+func parseDirective(text string) (name, reason string, ok bool) {
+	m := directiveRE.FindStringSubmatch(strings.TrimRight(text, "\r"))
+	if m == nil {
+		return "", "", false
+	}
+	return m[1], strings.TrimSpace(strings.TrimRight(m[2], "\r")), true
+}
 
 // Reportf records a finding at pos unless a matching suppression directive
 // covers the position's line.
@@ -102,6 +146,32 @@ func (p *Pass) isSuppressed(pos token.Position) bool {
 	return false
 }
 
+// ExportObjectFact attaches fact to obj, a package-level object of the
+// package under analysis. Facts on foreign or non-package-level objects
+// are silently dropped — matching the "no fact" import result.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	path, ok := ObjectPath(obj)
+	if !ok {
+		return
+	}
+	if obj.Pkg().Path() != p.Pkg.Path() {
+		panic(fmt.Sprintf("%s: ExportObjectFact(%s): object belongs to %s, not the package under analysis %s",
+			p.Analyzer.Name, obj.Name(), obj.Pkg().Path(), p.Pkg.Path()))
+	}
+	p.facts.export(obj.Pkg().Path(), path, fact)
+}
+
+// ImportObjectFact copies the fact of fact's concrete type attached to obj
+// into fact and reports whether one exists. obj may belong to any package
+// already analyzed this run (or seeded from the vet cache).
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	path, ok := ObjectPath(obj)
+	if !ok {
+		return false
+	}
+	return p.facts.lookup(obj.Pkg().Path(), path, fact)
+}
+
 // HasDirective reports whether the comment group carries the given
 // //spardl:<name> directive (e.g. "hotpath" on a function's doc comment).
 func HasDirective(doc *ast.CommentGroup, name string) bool {
@@ -109,7 +179,7 @@ func HasDirective(doc *ast.CommentGroup, name string) bool {
 		return false
 	}
 	for _, c := range doc.List {
-		if m := directiveRE.FindStringSubmatch(c.Text); m != nil && m[1] == name {
+		if got, _, ok := parseDirective(c.Text); ok && got == name {
 			return true
 		}
 	}
@@ -118,20 +188,20 @@ func HasDirective(doc *ast.CommentGroup, name string) bool {
 
 // newPass builds a Pass for one analyzer over a loaded package, including
 // the per-file suppression index.
-func newPass(a *Analyzer, pkg *Package, diags *[]Diagnostic) *Pass {
+func newPass(a *Analyzer, pkg *Package, diags *[]Diagnostic, facts *FactStore, results map[*Analyzer]any) *Pass {
 	suppressed := make(map[string]map[int][]string)
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				m := directiveRE.FindStringSubmatch(c.Text)
-				if m == nil || !strings.HasSuffix(m[1], "-ok") || strings.TrimSpace(m[2]) == "" {
+				name, reason, ok := parseDirective(c.Text)
+				if !ok || !strings.HasSuffix(name, "-ok") || reason == "" {
 					continue // not a suppression, or missing the mandatory reason
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				if suppressed[pos.Filename] == nil {
 					suppressed[pos.Filename] = make(map[int][]string)
 				}
-				suppressed[pos.Filename][pos.Line] = append(suppressed[pos.Filename][pos.Line], m[1])
+				suppressed[pos.Filename][pos.Line] = append(suppressed[pos.Filename][pos.Line], name)
 			}
 		}
 	}
@@ -141,20 +211,106 @@ func newPass(a *Analyzer, pkg *Package, diags *[]Diagnostic) *Pass {
 		Files:      pkg.Files,
 		Pkg:        pkg.Types,
 		TypesInfo:  pkg.TypesInfo,
+		ResultOf:   results,
+		facts:      facts,
 		suppressed: suppressed,
 		diags:      diags,
 	}
 }
 
-// Run executes the analyzers over the package and returns their findings
-// sorted by position.
-func Run(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	for _, a := range analyzers {
-		if err := a.Run(newPass(a, pkg, &diags)); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+// A Runner executes a closed set of analyzers over packages in dependency
+// order, threading facts between packages. Passes run in an order that
+// satisfies every Requires edge.
+type Runner struct {
+	analyzers []*Analyzer
+	facts     *FactStore
+}
+
+// NewRunner builds a Runner for the given analyzers plus the transitive
+// closure of their Requires, in dependency order. Fact types are
+// registered with gob here.
+func NewRunner(analyzers ...*Analyzer) (*Runner, error) {
+	order, err := requiresClosure(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range order {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
 		}
 	}
+	return &Runner{analyzers: order, facts: NewFactStore()}, nil
+}
+
+// Analyzers returns the full pass list the runner executes, including
+// Requires dependencies, in execution order.
+func (r *Runner) Analyzers() []*Analyzer { return r.analyzers }
+
+// requiresClosure expands Requires edges depth-first; the post-order
+// guarantees dependencies run before dependents. Cycles are an error.
+func requiresClosure(roots []*Analyzer) ([]*Analyzer, error) {
+	var order []*Analyzer
+	state := make(map[*Analyzer]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(a *Analyzer) error
+	visit = func(a *Analyzer) error {
+		switch state[a] {
+		case 1:
+			return fmt.Errorf("analyzer dependency cycle through %s", a.Name)
+		case 2:
+			return nil
+		}
+		state[a] = 1
+		for _, dep := range a.Requires {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[a] = 2
+		order = append(order, a)
+		return nil
+	}
+	for _, a := range roots {
+		if err := visit(a); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// RunPackage analyzes one package with the full pass list and returns the
+// findings sorted by position, plus the package's serialized facts (the
+// vet cache persists them). The facts are round-tripped through the gob
+// codec even on the all-in-one-process path, so a fact type that cannot
+// survive serialization fails loudly in tests, not in CI's cache path.
+func (r *Runner) RunPackage(pkg *Package) ([]Diagnostic, []byte, error) {
+	var diags []Diagnostic
+	results := make(map[*Analyzer]any, len(r.analyzers))
+	for _, a := range r.analyzers {
+		res, err := a.Run(newPass(a, pkg, &diags, r.facts, results))
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+		results[a] = res
+	}
+	sortDiagnostics(diags)
+	blob, err := r.facts.EncodePackageFacts(pkg.Path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := r.facts.DecodePackageFacts(pkg.Path, blob); err != nil {
+		return nil, nil, err
+	}
+	return diags, blob, nil
+}
+
+// ImportPackageFacts seeds the runner's fact store with a package's
+// serialized facts — the cache-hit path, where the package itself is not
+// re-analyzed but its importers still need its facts.
+func (r *Runner) ImportPackageFacts(pkgPath string, blob []byte) error {
+	return r.facts.DecodePackageFacts(pkgPath, blob)
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		di, dj := diags[i], diags[j]
 		if di.Pos.Filename != dj.Pos.Filename {
@@ -168,5 +324,16 @@ func Run(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
 		}
 		return di.Analyzer < dj.Analyzer
 	})
-	return diags, nil
+}
+
+// Run executes the analyzers (plus their Requires closure) over a single
+// package and returns the findings sorted by position. Facts do not
+// persist across calls; multi-package runs should hold a Runner.
+func Run(pkg *Package, analyzers ...*Analyzer) ([]Diagnostic, error) {
+	r, err := NewRunner(analyzers...)
+	if err != nil {
+		return nil, err
+	}
+	diags, _, err := r.RunPackage(pkg)
+	return diags, err
 }

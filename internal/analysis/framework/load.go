@@ -7,6 +7,10 @@ package framework
 // the same split the go vet driver uses (source for the package under
 // analysis, export data for everything below it), so analyzers get full,
 // compiler-consistent type information with no third-party loader.
+//
+// `go list -deps` emits packages in dependency order (dependencies before
+// dependents); the Loader preserves that order so the Runner computes a
+// package's facts before analyzing any of its importers.
 
 import (
 	"bytes"
@@ -23,6 +27,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Package is one type-checked package ready for analysis.
@@ -36,6 +41,18 @@ type Package struct {
 	TypesInfo *types.Info
 }
 
+// Meta is the pre-typecheck metadata of one analysis target, enough for
+// the vet cache to decide whether the package's verdict can be reused
+// without parsing a single file.
+type Meta struct {
+	Path    string
+	Name    string
+	Dir     string
+	Export  string
+	GoFiles []string // absolute paths
+	Imports []string // direct imports
+}
+
 // listedPkg mirrors the `go list -json` fields the loader consumes.
 type listedPkg struct {
 	ImportPath string
@@ -43,16 +60,17 @@ type listedPkg struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	DepOnly    bool
 	Standard   bool
 }
 
 // goList runs `go list -deps -export -json` in dir over the patterns and
-// returns the decoded package stream.
+// returns the decoded package stream in dependency order.
 func goList(dir string, patterns []string) ([]listedPkg, error) {
 	args := append([]string{
 		"list", "-deps", "-export",
-		"-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Standard",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,Imports,DepOnly,Standard",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -142,88 +160,190 @@ func check(fset *token.FileSet, path string, files []*ast.File, imp types.Import
 	return tpkg, info, nil
 }
 
-// Load expands the go-list patterns relative to dir (the module root or any
-// directory inside it) and returns every matched package type-checked and
-// ready for analysis. Test files are not loaded — the invariants spardl-vet
-// enforces are about shipped collective/merge/codec code.
-func Load(dir string, patterns []string) ([]*Package, error) {
+// A Loader resolves go-list patterns to analysis targets and type-checks
+// them on demand, so a cache-driven run can skip parsing packages whose
+// verdicts are already known.
+type Loader struct {
+	fset    *token.FileSet
+	imp     *exportImporter
+	metas   []*Meta           // analysis targets, dependency order
+	exports map[string]string // every listed package's export file
+}
+
+// NewLoader expands the go-list patterns relative to dir (the module root
+// or any directory inside it). Test files are not loaded — the invariants
+// spardl-vet enforces are about shipped collective/merge/codec code.
+func NewLoader(dir string, patterns []string) (*Loader, error) {
 	listed, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
-	exports := make(map[string]string, len(listed))
+	l := &Loader{
+		fset:    token.NewFileSet(),
+		exports: make(map[string]string, len(listed)),
+	}
 	for _, p := range listed {
 		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
+			l.exports[p.ImportPath] = p.Export
 		}
-	}
-	fset := token.NewFileSet()
-	imp := newExportImporter(fset, exports)
-	var out []*Package
-	for _, p := range listed {
 		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
 			continue
 		}
-		files, err := parseFiles(fset, p.Dir, p.GoFiles)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		m := &Meta{
+			Path:    p.ImportPath,
+			Name:    p.Name,
+			Dir:     p.Dir,
+			Export:  p.Export,
+			Imports: append([]string(nil), p.Imports...),
 		}
-		tpkg, info, err := check(fset, p.ImportPath, files, imp)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		for _, f := range p.GoFiles {
+			if !filepath.IsAbs(f) {
+				f = filepath.Join(p.Dir, f)
+			}
+			m.GoFiles = append(m.GoFiles, f)
 		}
-		out = append(out, &Package{
-			Path:      p.ImportPath,
-			Name:      tpkg.Name(),
-			Dir:       p.Dir,
-			Fset:      fset,
-			Files:     files,
-			Types:     tpkg,
-			TypesInfo: info,
-		})
+		l.metas = append(l.metas, m)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	l.imp = newExportImporter(l.fset, l.exports)
+	return l, nil
+}
+
+// Metas returns the analysis targets in dependency order.
+func (l *Loader) Metas() []*Meta { return l.metas }
+
+// ExportFile returns the compiled export-data file of any listed package
+// (target or dependency), or "" if none — the cache hashes these for
+// imports that are not themselves analysis targets.
+func (l *Loader) ExportFile(importPath string) string { return l.exports[importPath] }
+
+// Check parses and type-checks one target package.
+func (l *Loader) Check(m *Meta) (*Package, error) {
+	files, err := parseFiles(l.fset, m.Dir, m.GoFiles)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", m.Path, err)
+	}
+	tpkg, info, err := check(l.fset, m.Path, files, l.imp)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", m.Path, err)
+	}
+	return &Package{
+		Path:      m.Path,
+		Name:      tpkg.Name(),
+		Dir:       m.Dir,
+		Fset:      l.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// Load expands the go-list patterns and returns every matched package
+// type-checked, in dependency order (imports before importers).
+func Load(dir string, patterns []string) ([]*Package, error) {
+	l, err := NewLoader(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, m := range l.metas {
+		pkg, err := l.Check(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
 	return out, nil
 }
 
-// LoadDir type-checks the .go files of a single directory as one package —
-// the analysistest path, where fixtures live under testdata/ and are
-// invisible to go list pattern matching. Imports (standard library or
-// spardl packages) are resolved through `go list -export` like Load's.
-func LoadDir(dir string) (*Package, error) {
+// fixtureImporter resolves "spardl/fixture/…" imports from fixture
+// packages already checked in memory and everything else from export data.
+type fixtureImporter struct {
+	base types.Importer
+	mem  map[string]*types.Package
+}
+
+func (i *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.mem[path]; ok {
+		return p, nil
+	}
+	return i.base.Import(path)
+}
+
+// LoadFixtureTree type-checks an analysistest fixture directory. The
+// directory's own .go files form one package, and each immediate
+// subdirectory containing .go files forms another, importable by its
+// siblings as "spardl/fixture/<subdir>" — which is how cross-package fact
+// fixtures are written. Packages are returned in dependency order.
+// Regular imports (standard library or spardl packages) are resolved
+// through `go list -export`, as in Load.
+func LoadFixtureTree(dir string) ([]*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	var names []string
+	type rawPkg struct {
+		dir     string
+		pkgPath string
+		names   []string
+		files   []*ast.File
+		imports map[string]bool
+	}
+	var raws []*rawPkg
+	root := &rawPkg{dir: dir, pkgPath: "spardl/fixture/" + filepath.Base(dir)}
 	for _, e := range entries {
-		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
-			names = append(names, e.Name())
+		switch {
+		case e.IsDir():
+			sub := &rawPkg{dir: filepath.Join(dir, e.Name()), pkgPath: "spardl/fixture/" + e.Name()}
+			subEntries, err := os.ReadDir(sub.dir)
+			if err != nil {
+				return nil, err
+			}
+			for _, se := range subEntries {
+				if !se.IsDir() && filepath.Ext(se.Name()) == ".go" {
+					sub.names = append(sub.names, se.Name())
+				}
+			}
+			if len(sub.names) > 0 {
+				raws = append(raws, sub)
+			}
+		case filepath.Ext(e.Name()) == ".go":
+			root.names = append(root.names, e.Name())
 		}
 	}
-	if len(names) == 0 {
+	if len(root.names) > 0 {
+		raws = append(raws, root)
+	}
+	if len(raws) == 0 {
 		return nil, fmt.Errorf("no .go files in %s", dir)
 	}
-	sort.Strings(names)
+
 	fset := token.NewFileSet()
-	files, err := parseFiles(fset, dir, names)
-	if err != nil {
-		return nil, err
-	}
-	imports := make(map[string]bool)
-	for _, f := range files {
-		for _, spec := range f.Imports {
-			path, err := strconv.Unquote(spec.Path.Value)
-			if err != nil || path == "unsafe" || path == "C" {
-				continue
+	external := make(map[string]bool)
+	for _, r := range raws {
+		sort.Strings(r.names)
+		r.files, err = parseFiles(fset, r.dir, r.names)
+		if err != nil {
+			return nil, err
+		}
+		r.imports = make(map[string]bool)
+		for _, f := range r.files {
+			for _, spec := range f.Imports {
+				path, err := strconv.Unquote(spec.Path.Value)
+				if err != nil || path == "unsafe" || path == "C" {
+					continue
+				}
+				r.imports[path] = true
+				if !strings.HasPrefix(path, "spardl/fixture/") {
+					external[path] = true
+				}
 			}
-			imports[path] = true
 		}
 	}
+
 	exports := make(map[string]string)
-	if len(imports) > 0 {
-		patterns := make([]string, 0, len(imports))
-		for path := range imports {
+	if len(external) > 0 {
+		patterns := make([]string, 0, len(external))
+		for path := range external {
 			patterns = append(patterns, path)
 		}
 		sort.Strings(patterns)
@@ -237,19 +357,74 @@ func LoadDir(dir string) (*Package, error) {
 			}
 		}
 	}
-	imp := newExportImporter(fset, exports)
-	pkgPath := "spardl/fixture/" + filepath.Base(dir)
-	tpkg, info, err := check(fset, pkgPath, files, imp)
+
+	imp := &fixtureImporter{
+		base: newExportImporter(fset, exports),
+		mem:  make(map[string]*types.Package),
+	}
+
+	// Order fixture packages so intra-fixture imports are checked first:
+	// repeatedly pick the lexically-first package whose fixture imports
+	// are all satisfied (fixture trees are tiny, so O(n²) is fine).
+	sort.Slice(raws, func(i, j int) bool { return raws[i].pkgPath < raws[j].pkgPath })
+	var ordered []*rawPkg
+	done := make(map[string]bool)
+	for len(ordered) < len(raws) {
+		progressed := false
+		for _, r := range raws {
+			if done[r.pkgPath] {
+				continue
+			}
+			ready := true
+			for path := range r.imports {
+				if strings.HasPrefix(path, "spardl/fixture/") && !done[path] && path != r.pkgPath {
+					ready = false
+				}
+			}
+			if ready {
+				ordered = append(ordered, r)
+				done[r.pkgPath] = true
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("fixture import cycle in %s", dir)
+		}
+	}
+
+	var out []*Package
+	for _, r := range ordered {
+		tpkg, info, err := check(fset, r.pkgPath, r.files, imp)
+		if err != nil {
+			return nil, err
+		}
+		imp.mem[r.pkgPath] = tpkg
+		out = append(out, &Package{
+			Path:      r.pkgPath,
+			Name:      tpkg.Name(),
+			Dir:       r.dir,
+			Fset:      fset,
+			Files:     r.files,
+			Types:     tpkg,
+			TypesInfo: info,
+		})
+	}
+	return out, nil
+}
+
+// LoadDir type-checks the .go files of a single directory as one package —
+// the original analysistest path. Fixture directories with subdirectory
+// packages should use LoadFixtureTree.
+func LoadDir(dir string) (*Package, error) {
+	pkgs, err := LoadFixtureTree(dir)
 	if err != nil {
 		return nil, err
 	}
-	return &Package{
-		Path:      pkgPath,
-		Name:      tpkg.Name(),
-		Dir:       dir,
-		Fset:      fset,
-		Files:     files,
-		Types:     tpkg,
-		TypesInfo: info,
-	}, nil
+	want := "spardl/fixture/" + filepath.Base(dir)
+	for _, p := range pkgs {
+		if p.Path == want {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("no .go files at the top level of %s", dir)
 }

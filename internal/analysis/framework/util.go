@@ -7,6 +7,9 @@ import (
 
 // Callee resolves the called function (or method) of call, or nil for
 // builtins, conversions and calls through function-typed variables.
+// Instantiated generic functions and methods are normalized to their
+// declared origin, so they match the *types.Func objects analyzers index
+// from the package's own declarations.
 func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
 	var id *ast.Ident
 	switch fun := ast.Unparen(call.Fun).(type) {
@@ -18,6 +21,9 @@ func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
 		return nil
 	}
 	fn, _ := info.Uses[id].(*types.Func)
+	if fn != nil {
+		fn = fn.Origin()
+	}
 	return fn
 }
 

@@ -37,11 +37,21 @@ import (
 
 // Analyzer is the hotalloc pass.
 var Analyzer = &framework.Analyzer{
-	Name:     "hotalloc",
-	Doc:      "flag allocation-introducing constructs (loop make/append-growth, fmt.Sprintf, interface boxing, capturing closures) in //spardl:hotpath functions",
-	Suppress: "alloc-ok",
-	Run:      run,
+	Name:      "hotalloc",
+	Doc:       "flag allocation-introducing constructs (loop make/append-growth, fmt.Sprintf, interface boxing, capturing closures) in //spardl:hotpath functions",
+	Suppress:  "alloc-ok",
+	Version:   "2",
+	FactTypes: []framework.Fact{(*HotpathFact)(nil)},
+	Run:       run,
 }
+
+// HotpathFact marks a function carrying the //spardl:hotpath directive.
+// hotprop imports it to treat annotated callees as reviewed allocation
+// barriers even across package boundaries.
+type HotpathFact struct{}
+
+// AFact marks HotpathFact as a framework.Fact.
+func (*HotpathFact) AFact() {}
 
 // allocatingFmt lists the fmt functions that always allocate their result.
 var allocatingFmt = map[string]bool{
@@ -49,17 +59,20 @@ var allocatingFmt = map[string]bool{
 	"Errorf": true, "Appendf": true, "Append": true, "Appendln": true,
 }
 
-func run(pass *framework.Pass) error {
+func run(pass *framework.Pass) (any, error) {
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || !framework.HasDirective(fd.Doc, "hotpath") {
 				continue
 			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				pass.ExportObjectFact(fn, &HotpathFact{})
+			}
 			checkFunc(pass, fd)
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {

@@ -1,0 +1,12 @@
+package hotprop_test
+
+import (
+	"testing"
+
+	"spardl/internal/analysis/analysistest"
+	"spardl/internal/analysis/hotprop"
+)
+
+func TestTransitiveAllocPropagation(t *testing.T) {
+	analysistest.Run(t, "testdata/hotprop", hotprop.Analyzer)
+}

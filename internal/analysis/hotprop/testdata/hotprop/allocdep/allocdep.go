@@ -1,0 +1,14 @@
+// Package allocdep is the cross-package half of the hotprop fixture: its
+// allocation summaries travel to the importing fixture package as facts.
+package allocdep
+
+// MakeBuf allocates a fresh buffer; hotprop exports an AllocatesFact with
+// this make call as the witness.
+func MakeBuf(n int) []byte {
+	return make([]byte, n)
+}
+
+// Reuse truncates in place without allocating — no fact.
+func Reuse(dst []byte) []byte {
+	return dst[:0]
+}

@@ -1,0 +1,22 @@
+package hotfix
+
+import "spardl/fixture/allocdep"
+
+// fastFill writes into dst without allocating; annotated, so hot callers
+// trust it regardless of its cold paths.
+//
+//spardl:hotpath
+func fastFill(dst []byte) int {
+	for i := range dst {
+		dst[i] = 0
+	}
+	return len(dst)
+}
+
+// stepClean only calls trusted or non-allocating callees — no findings.
+//
+//spardl:hotpath
+func stepClean() {
+	_ = fastFill(scratch)
+	scratch = allocdep.Reuse(scratch)
+}

@@ -1,0 +1,23 @@
+package hotfix
+
+import "spardl/fixture/allocdep"
+
+var scratch []byte
+
+// localHelper looks innocent but allocates two frames down — the blindspot
+// hotalloc alone cannot see.
+func localHelper(n int) []byte {
+	return deeper(n)
+}
+
+func deeper(n int) []byte {
+	return make([]byte, n)
+}
+
+// step is the per-iteration kernel.
+//
+//spardl:hotpath
+func step(n int) {
+	scratch = localHelper(n)      // want `hot path calls allocating non-hotpath function localHelper \(calls deeper: make at hot\.go:\d+\)`
+	scratch = allocdep.MakeBuf(n) // want `hot path calls allocating non-hotpath function MakeBuf \(make at allocdep\.go:\d+\)`
+}

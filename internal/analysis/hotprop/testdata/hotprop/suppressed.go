@@ -1,0 +1,8 @@
+package hotfix
+
+// warm is hot, but its one cold call is a reviewed first-tick fallback.
+//
+//spardl:hotpath
+func warm(n int) {
+	scratch = localHelper(n) //spardl:hotprop-ok reviewed: only reached on the first tick, before steady state
+}

@@ -1,0 +1,12 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"spardl/internal/analysis/analysistest"
+	"spardl/internal/analysis/locksafe"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata/locksafe", locksafe.Analyzer)
+}

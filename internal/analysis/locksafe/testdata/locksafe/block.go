@@ -1,0 +1,40 @@
+package lockfix
+
+import "sync"
+
+type mailbox struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// post sends on an unbuffered channel while holding the mutex: one slow
+// receiver wedges every contender.
+func (m *mailbox) post(v int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ch <- v // want `channel send while holding m\.mu`
+}
+
+// drain blocks on the channel — a transitive blocker for callers.
+func (m *mailbox) drain() {
+	for range m.ch {
+	}
+}
+
+// sweep calls the blocker with the lock held.
+func (m *mailbox) sweep() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.drain() // want `drain \(may block\) while holding m\.mu`
+}
+
+// postSafe snapshots under the lock and blocks outside it.
+func (m *mailbox) postSafe(v int) {
+	m.mu.Lock()
+	full := len(m.ch) == cap(m.ch)
+	m.mu.Unlock()
+	if full {
+		return
+	}
+	m.ch <- v
+}

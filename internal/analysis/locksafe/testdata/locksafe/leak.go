@@ -1,0 +1,43 @@
+package lockfix
+
+import "sync"
+
+type queue struct {
+	mu    sync.Mutex
+	items []int
+}
+
+// Pop leaks the mutex on the empty path.
+func (q *queue) Pop() (int, bool) {
+	q.mu.Lock()
+	if len(q.items) == 0 {
+		return 0, false // want `return while q\.mu is still Locked`
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.mu.Unlock()
+	return v, true
+}
+
+// fill acquires with no release anywhere; the leak reports at the lock
+// site itself.
+func (q *queue) fill(vs []int) {
+	q.mu.Lock() // want `q\.mu\.Lock is not released on every path`
+	q.items = append(q.items, vs...)
+}
+
+// Push releases on every path via defer — the shape to copy.
+func (q *queue) Push(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, v)
+}
+
+// mustDrain panics while locked; dying with the lock is fine.
+func (q *queue) mustDrain() {
+	q.mu.Lock()
+	if len(q.items) != 0 {
+		panic("queue not drained")
+	}
+	q.mu.Unlock()
+}

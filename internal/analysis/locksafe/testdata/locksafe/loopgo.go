@@ -1,0 +1,41 @@
+package lockfix
+
+import "net"
+
+// fanout captures the loop variable in each goroutine; pass it as an
+// argument so every iteration owns its value.
+func fanout(conns []net.Conn, payload []byte) {
+	for i := range conns {
+		go func() { // want `goroutine launched in a loop captures loop variable i`
+			conns[i].Write(payload)
+		}()
+	}
+}
+
+// retryDial leaks one socket per failed background write: nothing closes
+// conn inside the goroutine.
+func retryDial(addrs []string) {
+	for _, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			continue
+		}
+		go func(a string) { // want `loop goroutine captures connection conn without closing it`
+			conn.Write([]byte(a))
+		}(addr)
+	}
+}
+
+// probe closes the conn on every path — no leak.
+func probe(addrs []string) {
+	for _, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			continue
+		}
+		go func(a string) {
+			defer conn.Close()
+			conn.Write([]byte(a))
+		}(addr)
+	}
+}

@@ -1,0 +1,18 @@
+package lockfix
+
+import "sync"
+
+type gate struct {
+	mu sync.Mutex
+}
+
+// hold intentionally keeps the gate locked across the call boundary; the
+// paired release lives in unlockGate.
+func (g *gate) hold() {
+	g.mu.Lock() //spardl:locksafe-ok handed off: unlockGate releases after the barrier trips
+}
+
+// unlockGate is the paired release of hold.
+func (g *gate) unlockGate() {
+	g.mu.Unlock()
+}

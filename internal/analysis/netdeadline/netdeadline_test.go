@@ -1,0 +1,12 @@
+package netdeadline_test
+
+import (
+	"testing"
+
+	"spardl/internal/analysis/analysistest"
+	"spardl/internal/analysis/netdeadline"
+)
+
+func TestDeadlineCoverage(t *testing.T) {
+	analysistest.Run(t, "testdata/netdeadline", netdeadline.Analyzer)
+}

@@ -1,0 +1,27 @@
+package tcpnet
+
+import "net"
+
+// recvHello reads the first frame with no deadline anywhere on the path.
+func recvHello(conn net.Conn, buf []byte) (int, error) {
+	return conn.Read(buf) // want `Conn\.Read at naked\.go:\d+ runs with no deadline set on any caller path`
+}
+
+// acceptOne accepts the next peer without bounding the wait.
+func acceptOne(l net.Listener) (net.Conn, error) {
+	return l.Accept() // want `Listener\.Accept at naked\.go:\d+ runs with no deadline set on any caller path`
+}
+
+// readFrame's read is naked, but the finding belongs to its callers: the
+// deadline is a caller-path property.
+func readFrame(conn net.Conn, buf []byte) (int, error) {
+	return conn.Read(buf)
+}
+
+// handshake is the root of readFrame's uncovered caller chain; the
+// inherited finding reports here, naming the underlying I/O site.
+func handshake(conn net.Conn) error {
+	var hdr [8]byte
+	_, err := readFrame(conn, hdr[:]) // want `Conn\.Read at naked\.go:\d+ runs with no deadline set on any caller path`
+	return err
+}

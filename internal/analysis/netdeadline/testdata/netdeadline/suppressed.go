@@ -1,0 +1,10 @@
+package tcpnet
+
+import "net"
+
+// flush writes the tail of a frame. The data plane is unblocked by
+// force-closing the conn from the abort path, not by deadlines — the
+// suppression names that design.
+func flush(conn net.Conn, p []byte) (int, error) {
+	return conn.Write(p) //spardl:netdeadline-ok data plane writes are unblocked by force-closing the conn on the abort path
+}

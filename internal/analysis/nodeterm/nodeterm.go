@@ -36,6 +36,7 @@ var Analyzer = &framework.Analyzer{
 	Name:     "nodeterm",
 	Doc:      "flag nondeterministic constructs (map range, time.Now, global math/rand, multi-way select) in determinism-critical packages",
 	Suppress: "nondeterministic-ok",
+	Version:  "2",
 	Run:      run,
 }
 
@@ -59,9 +60,9 @@ var seededConstructors = map[string]bool{
 	"NewChaCha8": true,
 }
 
-func run(pass *framework.Pass) error {
+func run(pass *framework.Pass) (any, error) {
 	if !deterministicPkgs[pass.Pkg.Name()] {
-		return nil
+		return nil, nil
 	}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -76,7 +77,7 @@ func run(pass *framework.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 func checkMapRange(pass *framework.Pass, rng *ast.RangeStmt) {

@@ -1,0 +1,12 @@
+package poisonorder_test
+
+import (
+	"testing"
+
+	"spardl/internal/analysis/analysistest"
+	"spardl/internal/analysis/poisonorder"
+)
+
+func TestRecordBeforeHookAndStreamHooks(t *testing.T) {
+	analysistest.Run(t, "testdata/poison", poisonorder.Analyzer)
+}

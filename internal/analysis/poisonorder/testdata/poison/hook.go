@@ -1,0 +1,48 @@
+package tcpnet
+
+type fabric struct {
+	fault string
+	dead  bool
+}
+
+// Abort is a seed-named poison hook: it trips the cascade but records
+// nothing itself.
+func (f *fabric) Abort() {
+	f.dead = true
+}
+
+// poisonWith records the cause and then trips — the hook that satisfies
+// rule 1 on its own when handed the cause.
+func (f *fabric) poisonWith(cause string) {
+	f.fault = cause
+	f.dead = true
+}
+
+// badAbort fires the hook before recording — the cascade's secondary
+// errors overwrite the root cause.
+func (f *fabric) badAbort(cause string) {
+	f.Abort() // want `poison hook fires before the failure cause is recorded`
+	f.fault = cause
+}
+
+// goodAbort records the root cause first.
+func (f *fabric) goodAbort(cause string) {
+	f.fault = cause
+	f.Abort()
+}
+
+// forward hands the cause to the recording hook itself — also fine.
+func (f *fabric) forward(reason string) {
+	f.poisonWith(reason)
+}
+
+// guard contains panics; the handler trips the hook without ever storing
+// what recover returned.
+func (f *fabric) guard(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			f.Abort() // want `poison hook fires before the failure cause is recorded`
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,38 @@
+package tcpnet
+
+import "spardl/internal/comm"
+
+type proto struct {
+	lane  *comm.StreamLane
+	fault string
+}
+
+// badWire installs a hook closure that waits for the very stream goroutine
+// that runs it — the PR 8 deadlock class.
+func (p *proto) badWire() {
+	p.lane = comm.NewStreamLane(func(r any) { // want `stream-lane hook reaches Shutdown, which waits for the stream goroutine`
+		p.fault = "stream panic"
+		p.lane.Shutdown()
+	})
+}
+
+// onPanicWait transitively waits for the stream through Join.
+func (p *proto) onPanicWait(r any) {
+	p.lane.Join()
+}
+
+// badWireNamed hands the waiting method to the lane by value.
+func (p *proto) badWireNamed() {
+	p.lane = comm.NewStreamLane(p.onPanicWait) // want `stream-lane hook onPanicWait waits for the stream goroutine`
+}
+
+// onPanicRecord only records — the safe hook shape (the abortConns
+// pattern closes conns and queues instead of waiting).
+func (p *proto) onPanicRecord(r any) {
+	p.fault = "stream panic"
+}
+
+// goodWire installs the safe hook.
+func (p *proto) goodWire() {
+	p.lane = comm.NewStreamLane(p.onPanicRecord)
+}

@@ -1,0 +1,8 @@
+package tcpnet
+
+// reAbort re-trips a fabric whose cause was durably recorded by the caller
+// on a previous tick; the suppression names that invariant.
+func (f *fabric) reAbort(cause string) {
+	f.Abort() //spardl:poisonorder-ok cause was recorded by the caller before entry; this is a re-trip
+	f.fault = cause
+}

@@ -337,10 +337,12 @@ func (w *worker) Outbound(peer int) Action {
 // CrashIter implements Injector.
 func (w *worker) CrashIter() int { return w.crashIter }
 
-// CorruptBytes deterministically flips bits in buf — the shared mutation
-// both backends apply on a Corrupt verdict, keyed only by the payload
-// length so replays match. The first and middle bytes are inverted, which
-// reliably breaks either the payload tag or the codec body.
+// CorruptBytes deterministically flips up to two bytes of buf — the shared
+// mutation both backends apply on a Corrupt verdict, keyed only by the
+// payload length so replays match. Byte 0 is XORed with 0xFF and byte
+// len/2 with 0xA5, which reliably breaks either the payload tag or the
+// codec body; a length-1 buffer receives both masks on its single byte
+// (net 0x5A). An empty buffer is left untouched.
 func CorruptBytes(buf []byte) {
 	if len(buf) == 0 {
 		return

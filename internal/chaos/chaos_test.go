@@ -137,3 +137,59 @@ func TestCorruptBytesDeterministic(t *testing.T) {
 	}
 	CorruptBytes(nil) // must not panic
 }
+
+// TestCorruptBytesFlipCount pins the exact mutation — which bytes change
+// and what they become — so the doc ("up to two bytes: buf[0]^0xFF,
+// buf[len/2]^0xA5") cannot drift from the code again. chaosConn's
+// streaming corruptSpan mirrors these offsets and masks byte-for-byte.
+func TestCorruptBytesFlipCount(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		flipped []int // indices that must differ from the original
+	}{
+		{"empty", 0, nil},
+		{"one byte gets both masks", 1, []int{0}},
+		{"len two", 2, []int{0, 1}},
+		{"odd length", 5, []int{0, 2}},
+		{"even length", 8, []int{0, 4}},
+		{"large", 4096, []int{0, 2048}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			orig := make([]byte, tc.n)
+			for i := range orig {
+				orig[i] = byte(i)
+			}
+			buf := append([]byte(nil), orig...)
+			CorruptBytes(buf)
+			var flipped []int
+			for i := range buf {
+				if buf[i] != orig[i] {
+					flipped = append(flipped, i)
+				}
+			}
+			if len(flipped) != len(tc.flipped) {
+				t.Fatalf("flipped %d bytes at %v, want %d at %v", len(flipped), flipped, len(tc.flipped), tc.flipped)
+			}
+			for i, idx := range tc.flipped {
+				if flipped[i] != idx {
+					t.Fatalf("flipped bytes at %v, want %v", flipped, tc.flipped)
+				}
+			}
+			// Pin the masks, not just the offsets.
+			if tc.n == 1 {
+				if want := orig[0] ^ 0xFF ^ 0xA5; buf[0] != want {
+					t.Fatalf("single byte = %#x, want both masks applied (%#x)", buf[0], want)
+				}
+			} else if tc.n > 1 {
+				if want := orig[0] ^ 0xFF; buf[0] != want {
+					t.Fatalf("buf[0] = %#x, want %#x", buf[0], want)
+				}
+				if want := orig[tc.n/2] ^ 0xA5; buf[tc.n/2] != want {
+					t.Fatalf("buf[len/2] = %#x, want %#x", buf[tc.n/2], want)
+				}
+			}
+		})
+	}
+}

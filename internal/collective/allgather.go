@@ -20,6 +20,10 @@ type Allocator interface {
 	Anys(capacity int) []any
 }
 
+// allocAnys draws an item slice from the allocator; the make below is the
+// nil-allocator heap fallback, by design.
+//
+//spardl:hotpath
 func allocAnys(a Allocator, n int) []any {
 	if a == nil {
 		return make([]any, 0, n)

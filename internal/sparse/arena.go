@@ -76,7 +76,11 @@ type slabPool[T any] struct {
 }
 
 // alloc returns a zero-length slice with capacity exactly n, carved from
-// the current slab (or a dedicated slab for oversize requests).
+// the current slab (or a dedicated slab for oversize requests). The slab
+// makes below run only when the recycled slabs run out — the reviewed
+// amortized growth path.
+//
+//spardl:hotpath
 func (p *slabPool[T]) alloc(n int) []T {
 	if n <= 0 {
 		return nil
@@ -228,7 +232,9 @@ func (a *Arena) Get(capacity int) *Chunk {
 
 // Wrap returns a chunk header (arena-owned, storage not recyclable) over
 // caller-provided Idx/Val storage — the header-only allocation Split and
-// Slice need.
+// Slice need. On a nil arena the header is heap-allocated by design.
+//
+//spardl:hotpath
 func (a *Arena) Wrap(idx []int32, val []float32) *Chunk {
 	if a == nil {
 		return &Chunk{Idx: idx, Val: val}
@@ -265,7 +271,9 @@ func (a *Arena) Owns(c *Chunk) bool {
 }
 
 // Chunks returns an empty chunk-pointer slice with the given capacity,
-// carved from the pointer slabs (heap on a nil arena).
+// carved from the pointer slabs (heap on a nil arena, by design).
+//
+//spardl:hotpath
 func (a *Arena) Chunks(capacity int) []*Chunk {
 	if a == nil {
 		return make([]*Chunk, 0, capacity)
@@ -277,7 +285,9 @@ func (a *Arena) Chunks(capacity int) []*Chunk {
 // (heap on a nil arena). The all-gather schedules draw their item slices
 // from it, which is what makes a collective round allocation-free: slices
 // sent to peers stay readable through the epoch quarantine like any other
-// arena storage.
+// arena storage. Heap on a nil arena, by design.
+//
+//spardl:hotpath
 func (a *Arena) Anys(capacity int) []any {
 	if a == nil {
 		return make([]any, 0, capacity)
@@ -286,8 +296,10 @@ func (a *Arena) Anys(capacity int) []any {
 }
 
 // Bytes returns an empty byte slice with the given capacity from the byte
-// slabs (heap on a nil arena). The wire transport uses it for encode
-// buffers so serialized messages reuse pooled storage end-to-end.
+// slabs (heap on a nil arena, by design). The wire transport uses it for
+// encode buffers so serialized messages reuse pooled storage end-to-end.
+//
+//spardl:hotpath
 func (a *Arena) Bytes(capacity int) []byte {
 	if a == nil {
 		return make([]byte, 0, capacity)
@@ -522,7 +534,7 @@ func (a *Arena) MergeAddAll(chunks []*Chunk) *Chunk {
 		return out
 	}
 	if total >= parallelMergeMinEntries && shards > 1 {
-		return a.mergeAddShards(act, total, shards)
+		return a.mergeAddShards(act, total, shards) //spardl:hotprop-ok O(shards) cut tables amortize against the O(nnz) parallel merge they plan
 	}
 	out := a.Get(total)
 	kwayMerge(out, act, nil)

@@ -18,7 +18,10 @@ type sliceBox[T any] struct{ s []T }
 
 // Get returns a length-n slice with arbitrary contents. Callers that need
 // zeros must clear it; callers that overwrite the whole slice need not.
-// Pair with Put.
+// Pair with Put. The makes below run only on a cold pool or capacity
+// growth — the steady-state Get/Put pair is allocation-free by design.
+//
+//spardl:hotpath
 func (p *SlicePool[T]) Get(n int) []T {
 	b, _ := p.vals.Get().(*sliceBox[T])
 	if b == nil {
@@ -34,7 +37,10 @@ func (p *SlicePool[T]) Get(n int) []T {
 }
 
 // Put hands a slice back for reuse. The caller must not retain any
-// reference to it (including sub-slices or chunks aliasing it).
+// reference to it (including sub-slices or chunks aliasing it). The box
+// allocation below runs only while the box pool warms up.
+//
+//spardl:hotpath
 func (p *SlicePool[T]) Put(s []T) {
 	b, _ := p.boxes.Get().(*sliceBox[T])
 	if b == nil {

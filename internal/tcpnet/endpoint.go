@@ -497,7 +497,7 @@ func (fr *frameReader) next() (message, error) {
 	}
 	if kind != frameData {
 		if kind != frameSync {
-			return message{}, badFrameKind(kind)
+			return message{}, badFrameKind(kind) //spardl:hotprop-ok error formatting on the protocol-violation path that poisons the conn
 		}
 		return message{kind: kind}, nil
 	}
@@ -513,7 +513,7 @@ func (fr *frameReader) next() (message, error) {
 		// A garbage length (torn frame, stray writer) must take the clean
 		// "connection failed" poison path, not panic the process inside
 		// an absurd allocation.
-		return message{}, frameCapError(n)
+		return message{}, frameCapError(n) //spardl:hotprop-ok error formatting on the torn-frame path that poisons the conn
 	}
 	buf := fr.alloc(int(n))
 	// Drain whatever of the payload the sticky buffer already holds, then

@@ -459,8 +459,10 @@ func checkRange(c *sparse.Chunk, lo, hi int32) error {
 
 // mustRange panics on indices outside [lo, hi): encoding out of range is an
 // algorithm bug, not a recoverable condition.
+//
+//spardl:hotpath
 func mustRange(c *sparse.Chunk, lo, hi int32) {
-	if err := checkRange(c, lo, hi); err != nil {
+	if err := checkRange(c, lo, hi); err != nil { //spardl:hotprop-ok checkRange allocates only for a corrupt chunk, which panics here
 		panic(err)
 	}
 }

@@ -136,7 +136,7 @@ func (t Transport) Unpack(payload any) *sparse.Chunk {
 //
 //spardl:hotpath
 func (t Transport) decode(buf []byte) *sparse.Chunk {
-	c, err := DecodeArena(t.Arena, buf)
+	c, err := DecodeArena(t.Arena, buf) //spardl:hotprop-ok DecodeArena draws from the arena; it allocates only on corrupt-frame error paths, which panic below
 	if err != nil {
 		panic(fmt.Sprintf("wire: transport decode failed: %v", err))
 	}
